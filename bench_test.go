@@ -1,0 +1,166 @@
+package csaw
+
+// The benchmark harness: one benchmark per table and figure of the paper.
+// Each iteration runs the corresponding experiment end to end on the
+// emulated internet (reduced sample counts; `cmd/csaw-experiments` runs the
+// paper-sized versions) and republishes the experiment's key numbers as
+// benchmark metrics, so `go test -bench` output records the reproduced
+// shape next to wall-clock cost.
+
+import (
+	"sort"
+	"testing"
+
+	"csaw/internal/experiments"
+)
+
+// benchRuns shrinks per-series sample counts so a full -bench=. pass stays
+// in CI territory; shapes are already stable at these sizes.
+var benchRuns = map[string]int{
+	"table1":   1,
+	"table2":   2,
+	"figure1a": 5,
+	"figure1b": 10,
+	"figure1c": 5,
+	"figure2":  4,
+	"table5":   3,
+	"figure5a": 1,
+	"figure5b": 12,
+	"figure5c": 12,
+	"figure6a": 6,
+	"figure6b": 1,
+	"table6":   4,
+	"figure7a": 4,
+	"figure7b": 4,
+	"figure7c": 3,
+	"table7":   16,
+	"wild":     1,
+
+	"classifier":           1,
+	"ablation-selective":   5,
+	"ablation-voting":      80,
+	"ablation-multihoming": 6,
+	"ablation-explore":     10,
+	"ablation-fingerprint": 4,
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := experiments.Find(id)
+	if r == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(experiments.Options{Runs: benchRuns[id], Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = res
+	}
+	if last == nil {
+		return
+	}
+	keys := make([]string, 0, len(last.Metrics))
+	for k := range last.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Report a bounded number of headline metrics to keep output readable.
+	for i, k := range keys {
+		if i >= 8 {
+			break
+		}
+		b.ReportMetric(last.Metrics[k], metricUnit(k))
+	}
+}
+
+// metricUnit sanitizes an experiment metric key into a benchmark unit
+// (no whitespace allowed).
+func metricUnit(k string) string {
+	out := make([]rune, 0, len(k))
+	for _, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-', r == '/', r == '=':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Table 1: the ISP-A vs ISP-B filtering-mechanism matrix (§2.3).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 2: ping latencies to the static proxies.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Figure 1a: HTTPS/domain fronting vs static proxies (YouTube home page).
+func BenchmarkFigure1a(b *testing.B) { benchExperiment(b, "figure1a") }
+
+// Figure 1b: HTTPS vs Tor by exit-relay country.
+func BenchmarkFigure1b(b *testing.B) { benchExperiment(b, "figure1b") }
+
+// Figure 1c: Lantern vs "IP as hostname" behind a keyword filter.
+func BenchmarkFigure1c(b *testing.B) { benchExperiment(b, "figure1c") }
+
+// Figure 2: blocking-type fractions across eight surveyed ASes.
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// Table 5: average blocking-detection time per mechanism.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figure 5a: serial vs parallel redundant requests on blocked pages.
+func BenchmarkFigure5a(b *testing.B) { benchExperiment(b, "figure5a") }
+
+// Figure 5b: redundancy modes on a small unblocked page under load.
+func BenchmarkFigure5b(b *testing.B) { benchExperiment(b, "figure5b") }
+
+// Figure 5c: redundancy modes on a larger unblocked page under load.
+func BenchmarkFigure5c(b *testing.B) { benchExperiment(b, "figure5c") }
+
+// Figure 6a: 1/2/3 redundant copies over separate Tor circuits.
+func BenchmarkFigure6a(b *testing.B) { benchExperiment(b, "figure6a") }
+
+// Figure 6b: local_DB record counts with and without URL aggregation.
+func BenchmarkFigure6b(b *testing.B) { benchExperiment(b, "figure6b") }
+
+// Table 6: median PLT versus the direct re-measurement probability p.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Figure 7a: C-Saw vs Lantern vs Tor on a DNS-blocked page.
+func BenchmarkFigure7a(b *testing.B) { benchExperiment(b, "figure7a") }
+
+// Figure 7b: C-Saw vs Lantern vs Tor on an unblocked page.
+func BenchmarkFigure7b(b *testing.B) { benchExperiment(b, "figure7b") }
+
+// Figure 7c: C-Saw with Lantern vs with Tor under multi-stage blocking.
+func BenchmarkFigure7c(b *testing.B) { benchExperiment(b, "figure7c") }
+
+// Table 7: the pilot-deployment aggregates.
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+
+// §7.5: the November 2017 Twitter/Instagram blocking timeline.
+func BenchmarkWild(b *testing.B) { benchExperiment(b, "wild") }
+
+// §4.3.1: the two-phase block-page classifier's operating point.
+func BenchmarkClassifier(b *testing.B) { benchExperiment(b, "classifier") }
+
+// Ablations of the design choices DESIGN.md calls out.
+func BenchmarkAblationSelectiveRedundancy(b *testing.B) {
+	benchExperiment(b, "ablation-selective")
+}
+
+func BenchmarkAblationVoting(b *testing.B) { benchExperiment(b, "ablation-voting") }
+
+func BenchmarkAblationMultihoming(b *testing.B) {
+	benchExperiment(b, "ablation-multihoming")
+}
+
+func BenchmarkAblationExplore(b *testing.B) { benchExperiment(b, "ablation-explore") }
+
+func BenchmarkAblationFingerprint(b *testing.B) {
+	benchExperiment(b, "ablation-fingerprint")
+}

@@ -1,0 +1,103 @@
+// csaw-client runs one interactive C-Saw client against the case-study
+// world: it reads URLs from stdin (one per line), fetches each through the
+// proxy, and reports which path served it, the measured blocking stages,
+// and the local-DB state. "!sync" forces a global-DB round, "!db" dumps the
+// local database, "!stats" prints client counters.
+//
+// Usage:
+//
+//	echo "www.youtube.com/" | csaw-client [-isp A|B] [-anon] [-scale S]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csaw/internal/core"
+	"csaw/internal/worldgen"
+)
+
+func main() {
+	var (
+		ispName = flag.String("isp", "A", "which case-study ISP to sit behind: A or B")
+		anon    = flag.Bool("anon", false, "prefer anonymity (Tor-only circumvention)")
+		scale   = flag.Float64("scale", 300, "virtual clock scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	w, err := worldgen.New(worldgen.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	ispA, ispB, err := w.CaseStudy()
+	if err != nil {
+		fatal(err)
+	}
+	isp := ispA
+	if strings.EqualFold(*ispName, "B") {
+		isp = ispB
+	}
+	host := w.NewClientHost("interactive", isp)
+	cfg := w.ClientConfig(host, *seed)
+	if *anon {
+		cfg.Pref = core.PreferAnonymity
+	}
+	client, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	if err := client.Start(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("C-Saw client up behind %s (AS%d); registered with the global DB.\n",
+		isp.AS.Name, isp.AS.Number)
+	fmt.Println("Enter URLs (host/path) to browse; !db, !stats, !sync for introspection.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "!db":
+			for _, rec := range client.DB().Snapshot() {
+				fmt.Printf("  %-40s %-12s stages=%v posted=%v\n", rec.URL, rec.Status, rec.Stages, rec.GlobalPosted)
+			}
+		case line == "!stats":
+			for _, k := range []string{"served-direct", "served-circum", "served-blockpage",
+				"phase2-confirm", "phase2-overturn", "refresh", "explore", "failover",
+				"reports-posted", "direct-remeasure", "false-report-corrected"} {
+				if v := client.Counter(k); v > 0 {
+					fmt.Printf("  %-24s %d\n", k, v)
+				}
+			}
+		case line == "!sync":
+			client.WaitIdle() // let in-flight measurements land first
+			if err := client.SyncNow(context.Background()); err != nil {
+				fmt.Println("  sync failed:", err)
+			} else {
+				fmt.Printf("  synced; %d globally-known blocked URLs for this AS\n", client.GlobalCacheLen())
+			}
+		default:
+			res := client.FetchURL(context.Background(), line)
+			if res.Err != nil {
+				fmt.Printf("  ERROR %v\n", res.Err)
+				continue
+			}
+			fmt.Printf("  %d bytes via %-16s status=%-12s took=%.2fs stages=%v\n",
+				len(res.Resp.Body), res.Source, res.Status, res.Took.Seconds(), res.Stages)
+		}
+	}
+	client.WaitIdle()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csaw-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// csaw-experiments regenerates the paper's tables and figures on the
+// emulated internet.
+//
+// Usage:
+//
+//	csaw-experiments [-run all|id1,id2,...] [-runs N] [-scale S] [-seed N] [-list]
+//
+// Each experiment prints its rendered table/summary and key metrics; the
+// IDs match the paper artifacts (table1, figure5a, ...). See DESIGN.md for
+// the per-experiment index and EXPERIMENTS.md for recorded paper-vs-
+// measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"csaw/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		runs  = flag.Int("runs", 0, "override per-series sample count (0 = paper defaults)")
+		scale = flag.Float64("scale", 0, "virtual clock scale (0 = per-experiment default)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Runner
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r := experiments.Find(strings.TrimSpace(id))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *r)
+		}
+	}
+
+	opts := experiments.Options{Runs: *runs, Scale: *scale, Seed: *seed}
+	failed := 0
+	for _, r := range selected {
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "!! %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s finished in %.1fs wall)\n\n", r.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

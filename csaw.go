@@ -1,0 +1,136 @@
+// Package csaw is the public API of this C-Saw reproduction — the system of
+// "Incentivizing Censorship Measurements via Circumvention" (Nisar, Kashaf,
+// Qazi, Uzmi; SIGCOMM 2018).
+//
+// C-Saw is a client-side proxy that measures web censorship using only the
+// URLs its user actually visits and uses those measurements — its own and
+// the crowd's, shared through a global database — to pick the cheapest
+// working circumvention method per URL: local fixes (public DNS, HTTPS,
+// domain fronting, IP-as-hostname) before relay methods (Lantern, Tor,
+// static proxies). Faster page loads are the incentive that recruits
+// measurement vantage points.
+//
+// Everything here runs against an emulated internet (see DESIGN.md for the
+// substitutions): a virtual-time network with censoring ISPs, DNS/HTTP/TLS
+// stacks, and simulated Tor/Lantern/static-proxy ecosystems. The same
+// client code would run over real sockets given a wall clock and real
+// dialers.
+//
+// Quick start:
+//
+//	w, _ := csaw.NewWorld(csaw.WorldOptions{Scale: 300, Seed: 1})
+//	ispA, _, _ := w.CaseStudy() // Table-1 Pakistan scenario
+//	host := w.NewClientHost("me", ispA)
+//	client, _ := csaw.NewClient(w.ClientConfig(host, 1))
+//	defer client.Close()
+//	res := client.FetchURL(ctx, "www.youtube.com/")
+//	// res.Source tells you which path served it; the local DB now holds
+//	// the measurement, and SyncNow shares it.
+//
+// The examples/ directory contains runnable walkthroughs, and
+// internal/experiments regenerates every table and figure of the paper.
+package csaw
+
+import (
+	"csaw/internal/core"
+	"csaw/internal/detect"
+	"csaw/internal/experiments"
+	"csaw/internal/globaldb"
+	"csaw/internal/localdb"
+	"csaw/internal/web"
+	"csaw/internal/worldgen"
+)
+
+// Core client types.
+type (
+	// Client is the C-Saw client proxy (measurement + circumvention).
+	Client = core.Client
+	// Config assembles a Client.
+	Config = core.Config
+	// Approach is one circumvention method.
+	Approach = core.Approach
+	// Result is the outcome of one proxied URL fetch.
+	Result = core.Result
+)
+
+// World construction.
+type (
+	// World is an emulated internet with censoring ISPs and circumvention
+	// ecosystems.
+	World = worldgen.World
+	// WorldOptions configures world construction.
+	WorldOptions = worldgen.Options
+	// ISP is a censoring provider.
+	ISP = worldgen.ISP
+)
+
+// Measurement vocabulary.
+type (
+	// Record is one local-database row (paper Table 3).
+	Record = localdb.Record
+	// Stage is one stage of (multi-stage) blocking.
+	Stage = localdb.Stage
+	// BlockType classifies a blocking mechanism.
+	BlockType = localdb.BlockType
+	// Status is a URL's blocking status.
+	Status = localdb.Status
+	// Outcome is one direct-path detection result (paper Figure 4).
+	Outcome = detect.Outcome
+	// GlobalEntry is one crowdsourced blocked-URL record with voting stats.
+	GlobalEntry = globaldb.Entry
+)
+
+// Browser-level page loading.
+type (
+	// Browser loads pages (base document + objects) and measures PLT.
+	Browser = web.Browser
+	// PageResult is one page load.
+	PageResult = web.PageResult
+)
+
+// Statuses.
+const (
+	NotMeasured = localdb.NotMeasured
+	NotBlocked  = localdb.NotBlocked
+	Blocked     = localdb.Blocked
+)
+
+// Blocking mechanisms.
+const (
+	BlockNone       = localdb.BlockNone
+	BlockDNS        = localdb.BlockDNS
+	BlockIP         = localdb.BlockIP
+	BlockTCPTimeout = localdb.BlockTCPTimeout
+	BlockHTTP       = localdb.BlockHTTP
+	BlockSNI        = localdb.BlockSNI
+	BlockContent    = localdb.BlockContent
+)
+
+// User preferences (§4.4).
+const (
+	PreferPerformance = core.PreferPerformance
+	PreferAnonymity   = core.PreferAnonymity
+)
+
+// NewWorld builds an emulated internet.
+func NewWorld(o WorldOptions) (*World, error) { return worldgen.New(o) }
+
+// NewClient assembles a C-Saw client from a config (see World.ClientConfig
+// for a fully wired starting point).
+func NewClient(cfg Config) (*Client, error) { return core.New(cfg) }
+
+// Experiments exposes the paper-reproduction harness.
+type (
+	// Experiment is a registered table/figure regenerator.
+	Experiment = experiments.Runner
+	// ExperimentOptions tunes a run.
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is a regenerated table/figure.
+	ExperimentResult = experiments.Result
+)
+
+// Experiments returns every table/figure regenerator in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// FindExperiment returns the regenerator with the given ID, or nil.
+func FindExperiment(id string) *Experiment { return experiments.Find(id) }

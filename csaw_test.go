@@ -1,0 +1,78 @@
+package csaw_test
+
+import (
+	"context"
+	"testing"
+
+	"csaw"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way the README's quick
+// start does: build a world, run a client, fetch a blocked and an unblocked
+// URL, sync with the global DB.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	world, err := csaw.NewWorld(csaw.WorldOptions{Scale: 300, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ispA, _, err := world.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := world.NewClientHost("api-test", ispA)
+	client, err := csaw.NewClient(world.ClientConfig(host, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	if err := client.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := client.FetchURL(ctx, "news.example.pk/")
+	if !clean.OK() || clean.Source != "direct" || clean.Status != csaw.NotBlocked {
+		t.Fatalf("clean fetch = %+v (err=%v)", clean, clean.Err)
+	}
+	blocked := client.FetchURL(ctx, "www.youtube.com/")
+	if !blocked.OK() || blocked.Source == "direct" {
+		t.Fatalf("blocked fetch = %+v (err=%v)", blocked, blocked.Err)
+	}
+	client.WaitIdle()
+	if _, st := client.DB().Lookup("www.youtube.com/"); st != csaw.Blocked {
+		t.Fatalf("db status = %v", st)
+	}
+	if err := client.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := world.GlobalDB.StatsSnapshot(); st.BlockedURLs == 0 {
+		t.Fatal("nothing reported to the global DB")
+	}
+}
+
+// TestExperimentRegistry sanity-checks the experiment catalogue.
+func TestExperimentRegistry(t *testing.T) {
+	all := csaw.Experiments()
+	if len(all) < 20 {
+		t.Fatalf("experiments = %d, want every table/figure + ablations", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table5", "table6", "table7",
+		"figure1a", "figure2", "figure5a", "figure6b", "figure7a", "wild", "classifier"} {
+		if csaw.FindExperiment(want) == nil {
+			t.Errorf("experiment %q missing", want)
+		}
+	}
+	if csaw.FindExperiment("no-such-id") != nil {
+		t.Error("FindExperiment invented an experiment")
+	}
+}

@@ -1,0 +1,105 @@
+// Churn walks through the dynamic behaviours of §4.4: URL status churn in
+// both directions (a site getting unblocked, and a clean site suddenly
+// blocked mid-session — the Nov 2017 Twitter event), and multihoming
+// detection with its stricter circumvention choice.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"csaw"
+	"csaw/internal/censor"
+	"csaw/internal/worldgen"
+)
+
+func main() {
+	world, err := csaw.NewWorld(csaw.WorldOptions{Scale: 300, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ispA, ispB, err := world.CaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// --- Scenario A: Blocked → Unblocked (the Jan 2016 YouTube story) ---
+	fmt.Println("Scenario A: a blocked site gets unblocked")
+	host := world.NewClientHost("churn-a", ispA)
+	cfg := world.ClientConfig(host, 9)
+	cfg.GlobalDB = nil
+	cfg.ASNProbeAddr = ""
+	cfg.TTL = time.Minute // short record lifetime so the demo is quick
+	client, err := csaw.NewClient(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(c *csaw.Client, url string) {
+		res := c.FetchURL(ctx, url)
+		if res.Err != nil {
+			fmt.Printf("  %-20s ERROR %v\n", url, res.Err)
+			return
+		}
+		fmt.Printf("  %-20s via %-14s (%5.2fs, db: %s)\n", url, res.Source, res.Took.Seconds(), res.Status)
+	}
+	show(client, "www.youtube.com/") // detected blocked, circumvented
+	client.WaitIdle()
+	show(client, "www.youtube.com/") // served from the known-blocked fast path
+
+	fmt.Println("  ... the regulator orders YouTube unblocked; the record expires ...")
+	ispA.Censor.SetPolicy(&censor.Policy{})
+	world.Clock.Sleep(2 * time.Minute)
+	show(client, "www.youtube.com/") // redundant probe rediscovers the direct path
+	client.Close()
+
+	// --- Scenario B: Unblocked → Blocked (the Nov 2017 Twitter story) ---
+	fmt.Println("\nScenario B: a clean site gets blocked mid-session")
+	hostB := world.NewClientHost("churn-b", ispB)
+	cfgB := world.ClientConfig(hostB, 10)
+	cfgB.GlobalDB = nil
+	cfgB.ASNProbeAddr = ""
+	clientB, err := csaw.NewClient(cfgB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(clientB, "news.example.pk/")
+	clientB.WaitIdle()
+	fmt.Println("  ... protests start; the ISP adds news.example.pk to its filter ...")
+	ispB.Censor.SetPolicy(&censor.Policy{
+		HTTP: []censor.HTTPRule{{Host: worldgen.NewsHost, Action: censor.HTTPBlockPage}},
+	})
+	show(clientB, "news.example.pk/") // direct path always measured → caught at once
+	clientB.WaitIdle()
+	fmt.Printf("  churn events detected: %d\n", clientB.Counter("churn-unblocked-to-blocked"))
+	clientB.Close()
+
+	// --- Multihoming: two providers that disagree (§4.4) ---
+	fmt.Println("\nMultihoming: ISP-A redirects YouTube, ISP-B DNS-redirects and drops it")
+	hostM := world.NewClientHost("churn-multi", ispA, ispB)
+	// Restore both providers' Table-1 filtering (earlier scenarios edited it).
+	ispA.Censor.SetPolicy(worldgen.ISPAPolicy("block.isp-a.pk/blocked.html", "youtube.com"))
+	ispB.Censor.SetPolicy(worldgen.ISPBPolicy("10.9.0.2", "block.isp-b.pk/blocked.html", "youtube.com"))
+	cfgM := world.ClientConfig(hostM, 11)
+	cfgM.GlobalDB = nil
+	clientM, err := csaw.NewClient(cfgM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clientM.Close()
+	for i := 0; i < 25 && !clientM.Multihomed(); i++ {
+		if err := clientM.ProbeASN(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("  ASN probes conclude multihomed: %v\n", clientM.Multihomed())
+	for i := 0; i < 4; i++ {
+		show(clientM, "www.youtube.com/")
+		clientM.WaitIdle()
+	}
+	fmt.Println("  (the approach covers the union of both providers' blocking, so no oscillation)")
+}

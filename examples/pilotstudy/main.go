@@ -1,0 +1,35 @@
+// Pilotstudy runs a miniature version of the paper's §7.4 deployment: a
+// population of consenting users behind several censoring ASes browse
+// naturally; their C-Saw clients measure only what they visit, report
+// blocked URLs to the global DB (over Tor), and download each other's
+// findings — producing Table-7-style aggregates.
+//
+//	go run ./examples/pilotstudy [-users N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"csaw"
+	"csaw/internal/experiments"
+)
+
+func main() {
+	users := flag.Int("users", 40, "users to simulate (the paper's pilot had 123)")
+	flag.Parse()
+
+	fmt.Printf("Simulating a pilot deployment with %d users across 16 ASes...\n\n", *users)
+	res, err := experiments.Table7(csaw.ExperimentOptions{Runs: *users, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("What the numbers mean:")
+	fmt.Println(" - users opted in for faster page loads, not altruism (§3);")
+	fmt.Println(" - only URLs users actually visited were measured (informed consent);")
+	fmt.Println(" - block pages dominate, DNS blocking is second — matching §7.4;")
+	fmt.Println(" - every AS contributes measurements because every AS has users.")
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a censored world, run one C-Saw client behind a
+// censoring ISP, and watch it detect blocking, circumvent adaptively, and
+// get faster on repeat visits as the local database fills.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"csaw"
+)
+
+func main() {
+	// An emulated internet: Pakistan-style distributed censorship (Table 1
+	// of the paper), content origins, public DNS, a CDN front, Tor,
+	// Lantern, static proxies, and the crowdsourced global DB.
+	world, err := csaw.NewWorld(csaw.WorldOptions{Scale: 300, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ispA, _, err := world.CaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A user installs C-Saw behind ISP-A (which redirects blocked sites to
+	// a block page).
+	host := world.NewClientHost("alice", ispA)
+	client, err := csaw.NewClient(world.ClientConfig(host, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	if err := client.Start(ctx); err != nil {
+		log.Fatal(err) // registers with the global DB (CAPTCHA + UUID)
+	}
+
+	browse := func(url string) {
+		res := client.FetchURL(ctx, url)
+		if res.Err != nil {
+			fmt.Printf("  %-24s ERROR: %v\n", url, res.Err)
+			return
+		}
+		fmt.Printf("  %-24s %6d bytes via %-14s in %5.2fs  (status: %s)\n",
+			url, len(res.Resp.Body), res.Source, res.Took.Seconds(), res.Status)
+	}
+
+	fmt.Println("First visits — C-Saw measures the direct path while fetching:")
+	browse("news.example.pk/") // unblocked: direct path
+	browse("www.youtube.com/") // blocked: detected + circumvented in parallel
+	client.WaitIdle()
+
+	fmt.Println("\nLocal database after measuring (paper Table 3 records):")
+	for _, rec := range client.DB().Snapshot() {
+		fmt.Printf("  %-24s %-12s stages=%v\n", rec.URL, rec.Status, rec.Stages)
+	}
+
+	fmt.Println("\nRepeat visits — the DB now picks the cheapest working fix directly:")
+	browse("www.youtube.com/")
+	browse("www.youtube.com/")
+
+	// Share measurements with the crowd and show what the global DB knows.
+	if err := client.SyncNow(ctx); err != nil {
+		log.Fatal(err)
+	}
+	stats := world.GlobalDB.StatsSnapshot()
+	fmt.Printf("\nGlobal DB now holds %d blocked URL(s) from %d user(s) — the next user on this AS skips detection entirely.\n",
+		stats.BlockedURLs, stats.Users)
+}

@@ -1,0 +1,3 @@
+module csaw
+
+go 1.22

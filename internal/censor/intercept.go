@@ -1,0 +1,377 @@
+package censor
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"csaw/internal/dnsx"
+	"csaw/internal/httpx"
+	"csaw/internal/netem"
+	"csaw/internal/tlsx"
+)
+
+// Censor enforces a Policy as a netem Interceptor. The active policy can be
+// swapped at any time; connections established earlier keep the policy they
+// started with only for decisions already taken.
+type Censor struct {
+	mu     sync.RWMutex
+	policy *Policy
+
+	// Stats counts enforcement events by action name.
+	Stats Stats
+}
+
+// New returns a Censor enforcing p; nil means an empty (pass-everything)
+// policy.
+func New(p *Policy) *Censor {
+	if p == nil {
+		p = &Policy{}
+	}
+	return &Censor{policy: p}
+}
+
+// Attach installs the censor on an AS egress.
+func (c *Censor) Attach(as *netem.AS) { as.SetInterceptor(c) }
+
+// Policy returns the active policy.
+func (c *Censor) Policy() *Policy {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.policy
+}
+
+// SetPolicy swaps the active policy (used for blocking-event timelines such
+// as §7.5).
+func (c *Censor) SetPolicy(p *Policy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// FilterConnect implements netem.Interceptor: IP blacklisting.
+func (c *Censor) FilterConnect(f netem.Flow) netem.Verdict {
+	switch c.Policy().IPActionFor(f.Dst.IP) {
+	case IPDrop:
+		c.Stats.bump("ip-drop")
+		return netem.VerdictDrop
+	case IPReset:
+		c.Stats.bump("ip-reset")
+		return netem.VerdictReset
+	default:
+		return netem.VerdictPass
+	}
+}
+
+// WantStream implements netem.Interceptor: inspect HTTP, TLS, and —
+// when foreign-DNS interception is on — DNS streams.
+func (c *Censor) WantStream(f netem.Flow) bool {
+	p := c.Policy()
+	switch f.Dst.Port {
+	case 80, tlsx.Port:
+		return p.hasStreamRules()
+	case dnsx.Port:
+		return p.InterceptForeignDNS
+	default:
+		return false
+	}
+}
+
+// HandleStream implements netem.Interceptor.
+func (c *Censor) HandleStream(f netem.Flow, s *netem.Session) {
+	switch f.Dst.Port {
+	case 80:
+		c.handleHTTP(s)
+	case tlsx.Port:
+		c.handleTLS(s)
+	case dnsx.Port:
+		c.handleDNS(s)
+	default:
+		s.Splice()
+	}
+}
+
+// handleHTTP proxies requests one at a time, enforcing URL and keyword rules.
+func (c *Censor) handleHTTP(s *netem.Session) {
+	client, server := s.Client(), s.Server()
+	closeBoth := func() {
+		client.Close()
+		server.Close()
+	}
+	cbr := bufio.NewReader(client)
+	sbr := bufio.NewReader(server)
+	for {
+		req, err := httpx.ReadRequest(cbr)
+		if err != nil {
+			closeBoth()
+			return
+		}
+		p := c.Policy()
+		switch act := p.HTTPActionFor(req.Host, req.Target); act {
+		case HTTPClean:
+			// Count what the censor *observes* passing, per (host,target):
+			// the raw material for traffic-analysis/fingerprinting studies
+			// (§8 discusses whether C-Saw's redundant requests stand out).
+			c.Stats.bump("http-pass")
+			if err := httpx.WriteRequest(server, req); err != nil {
+				closeBoth()
+				return
+			}
+			resp, err := httpx.ReadResponse(sbr)
+			if err != nil {
+				closeBoth()
+				return
+			}
+			if err := httpx.WriteResponse(client, resp); err != nil {
+				closeBoth()
+				return
+			}
+			if req.Header.Get("Connection") == "close" || resp.Header.Get("Connection") == "close" {
+				closeBoth()
+				return
+			}
+		case HTTPDrop:
+			c.Stats.bump(act.String())
+			s.Blackhole() // leaves the client hanging; do not close it
+			return
+		case HTTPReset:
+			c.Stats.bump(act.String())
+			s.Reset()
+			return
+		case HTTPBlockPage:
+			c.Stats.bump(act.String())
+			_ = httpx.WriteResponse(client, p.blockPageResponse())
+			closeBoth()
+			return
+		case HTTPRedirect:
+			c.Stats.bump(act.String())
+			resp := httpx.NewResponse(302, []byte("blocked"))
+			resp.Header.Set("Location", "http://"+p.BlockPageURL)
+			resp.Header.Set("Connection", "close")
+			_ = httpx.WriteResponse(client, resp)
+			closeBoth()
+			return
+		case HTTPIframe:
+			c.Stats.bump(act.String())
+			_ = httpx.WriteResponse(client, p.iframeResponse())
+			closeBoth()
+			return
+		}
+	}
+}
+
+// handleTLS peeks the ClientHello for the SNI, then passes or kills.
+func (c *Censor) handleTLS(s *netem.Session) {
+	client, server := s.Client(), s.Server()
+	var consumed bytes.Buffer
+	cbr := bufio.NewReader(client)
+	hello, err := tlsx.ReadHello(io.TeeReader(cbr, &consumed))
+	if err != nil {
+		// Not pseudo-TLS (or the client vanished): forward what we saw and
+		// splice — censors pass traffic they cannot parse.
+		if consumed.Len() > 0 {
+			if _, werr := server.Write(consumed.Bytes()); werr != nil {
+				client.Close()
+				server.Close()
+				return
+			}
+		}
+		spliceBuffered(s, cbr)
+		return
+	}
+	switch c.Policy().SNIActionFor(hello.Name) {
+	case TLSDrop:
+		c.Stats.bump("sni-drop")
+		s.Blackhole()
+	case TLSReset:
+		c.Stats.bump("sni-reset")
+		s.Reset()
+	default:
+		if _, err := server.Write(consumed.Bytes()); err != nil {
+			client.Close()
+			server.Close()
+			return
+		}
+		spliceBuffered(s, cbr)
+	}
+}
+
+// spliceBuffered is Session.Splice but sources the client→server direction
+// from a bufio.Reader that may hold already-peeked bytes.
+func spliceBuffered(s *netem.Session, cbr *bufio.Reader) {
+	client, server := s.Client(), s.Server()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := io.Copy(server, cbr)
+		if err != nil && netem.IsReset(err) {
+			if sc, ok := server.(*netem.Conn); ok {
+				sc.Reset()
+				return
+			}
+		}
+		server.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := io.Copy(client, server)
+		if err != nil && netem.IsReset(err) {
+			if cc, ok := client.(*netem.Conn); ok {
+				cc.Reset()
+				return
+			}
+		}
+		client.Close()
+	}()
+	wg.Wait()
+}
+
+// handleDNS applies the DNS policy on-path to queries bound for foreign
+// resolvers (DNS injection).
+func (c *Censor) handleDNS(s *netem.Session) {
+	client, server := s.Client(), s.Server()
+	defer client.Close()
+	defer server.Close()
+	for {
+		q, err := dnsx.ReadMessage(client)
+		if err != nil {
+			return
+		}
+		name := ""
+		if len(q.Questions) > 0 {
+			name = q.Questions[0].Name
+		}
+		p := c.Policy()
+		act := p.DNSActionFor(name)
+		if act == DNSInject {
+			// Injection: the forged answer leaves immediately, and the
+			// query still reaches the real resolver — its genuine answer
+			// arrives second, which is exactly the signature Hold-On
+			// detects (same ID, later, different data).
+			c.Stats.bump(act.String())
+			if forged := forgeDNSReply(q, DNSRedirect, p.RedirectIP); forged != nil {
+				if err := dnsx.WriteMessage(client, forged); err != nil {
+					return
+				}
+			}
+			if err := dnsx.WriteMessage(server, q); err != nil {
+				return
+			}
+			resp, err := dnsx.ReadMessage(server)
+			if err != nil {
+				return
+			}
+			if err := dnsx.WriteMessage(client, resp); err != nil {
+				return
+			}
+			continue
+		}
+		if forged := forgeDNSReply(q, act, p.RedirectIP); forged != nil {
+			c.Stats.bump(act.String())
+			if err := dnsx.WriteMessage(client, forged); err != nil {
+				return
+			}
+			continue
+		}
+		if act == DNSDrop {
+			c.Stats.bump(act.String())
+			continue // swallow the query
+		}
+		// Clean: forward and relay the answer.
+		if err := dnsx.WriteMessage(server, q); err != nil {
+			return
+		}
+		resp, err := dnsx.ReadMessage(server)
+		if err != nil {
+			return
+		}
+		if err := dnsx.WriteMessage(client, resp); err != nil {
+			return
+		}
+	}
+}
+
+// forgeDNSReply builds the tampered response for an action, or nil if the
+// action produces no response (clean or drop).
+func forgeDNSReply(q *dnsx.Message, act DNSAction, redirectIP string) *dnsx.Message {
+	switch act {
+	case DNSNXDomain, DNSServFail, DNSRefused:
+		r := q.Reply()
+		switch act {
+		case DNSNXDomain:
+			r.RCode = dnsx.RCodeNXDomain
+		case DNSServFail:
+			r.RCode = dnsx.RCodeServFail
+		case DNSRefused:
+			r.RCode = dnsx.RCodeRefused
+		}
+		return r
+	case DNSRedirect:
+		r := q.Reply()
+		name := ""
+		if len(q.Questions) > 0 {
+			name = q.Questions[0].Name
+		}
+		return r.AnswerA(name, redirectIP, 60)
+	default:
+		return nil
+	}
+}
+
+// DefaultBlockPageHTML is the block page served when a policy does not
+// provide one; its phrasing matches the templates the phase-1 classifier is
+// trained on.
+const DefaultBlockPageHTML = `<html><head><title>Access Denied</title>` +
+	`<meta name="generator" content="isp-filter"></head>` +
+	`<body><h1>This website is not accessible</h1>` +
+	`<p>The site you are trying to access has been blocked under applicable law.</p>` +
+	`<hr><i>Surf Safely</i></body></html>`
+
+func (p *Policy) blockPageBody() []byte {
+	if len(p.BlockPageHTML) > 0 {
+		return p.BlockPageHTML
+	}
+	return []byte(DefaultBlockPageHTML)
+}
+
+func (p *Policy) blockPageResponse() *httpx.Response {
+	resp := httpx.NewResponse(200, p.blockPageBody())
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Header.Set("Connection", "close")
+	return resp
+}
+
+func (p *Policy) iframeResponse() *httpx.Response {
+	body := fmt.Sprintf(`<html><head><title></title></head><body>`+
+		`<iframe src="http://%s" width="100%%" height="100%%" frameborder="0"></iframe>`+
+		`</body></html>`, p.BlockPageURL)
+	resp := httpx.NewResponse(200, []byte(body))
+	resp.Header.Set("Content-Type", "text/html")
+	resp.Header.Set("Connection", "close")
+	return resp
+}
+
+// ResolverHandler returns a dnsx.Handler for the ISP's recursive resolver:
+// it applies the DNS policy first and otherwise answers honestly from reg.
+func (c *Censor) ResolverHandler(reg *dnsx.Registry, ttl uint32) dnsx.Handler {
+	honest := dnsx.AuthHandler(reg, ttl)
+	return dnsx.HandlerFunc(func(q *dnsx.Message, flow netem.Flow) *dnsx.Message {
+		name := ""
+		if len(q.Questions) > 0 {
+			name = q.Questions[0].Name
+		}
+		p := c.Policy()
+		act := p.DNSActionFor(name)
+		if act == DNSClean {
+			return honest.HandleDNS(q, flow)
+		}
+		if act == DNSInject {
+			act = DNSRedirect // a lying resolver cannot "race" itself
+		}
+		c.Stats.bump(act.String())
+		return forgeDNSReply(q, act, p.RedirectIP) // nil for DNSDrop: server stays silent
+	})
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"csaw/internal/blockpage"
+	"csaw/internal/detect"
+	"csaw/internal/dnsx"
+	"csaw/internal/globaldb"
+	"csaw/internal/localdb"
+	"csaw/internal/metrics"
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// Preference is the user's configuration knob of §4.4: performance picks
+// the cheapest working approach; anonymity restricts to anonymous ones.
+type Preference int
+
+// Preferences.
+const (
+	PreferPerformance Preference = iota
+	PreferAnonymity
+)
+
+// Defaults for the tunable parameters the paper evaluates.
+const (
+	// DefaultP is the probability of re-measuring the direct path for a
+	// globally-reported blocked URL (§4.3.1; Table 6 recommends p ≤ 0.25).
+	DefaultP = 0.1
+	// DefaultExploreEvery is n: every n-th access to a blocked URL uses a
+	// randomly chosen approach to track improving approaches (§4.3.2).
+	DefaultExploreEvery = 5
+	// DefaultMaxConns bounds the proxy's concurrent upstream connections —
+	// the client-load coupling behind Figure 5b/c and Table 6.
+	DefaultMaxConns = 8
+	// DefaultSyncInterval is the global-DB report/download period.
+	DefaultSyncInterval = 5 * time.Minute
+	// DefaultASNProbeInterval is the multihoming probe period (§4.4).
+	DefaultASNProbeInterval = 2 * time.Minute
+)
+
+// Config assembles a C-Saw client.
+type Config struct {
+	Host  *netem.Host
+	Clock *vtime.Clock
+	// LDNS/GDNS are the ISP and public resolver addresses.
+	LDNS []string
+	GDNS []string
+	// Approaches are the available circumvention methods.
+	Approaches []*Approach
+	// GlobalDB, when set, enables crowdsourcing: registration, periodic
+	// reports, and blocked-list downloads. CaptchaToken models the user's
+	// solved CAPTCHA.
+	GlobalDB     *globaldb.Client
+	CaptchaToken string
+	// ASNProbeAddr/Host point at the ASN-echo service for multihoming
+	// detection; empty disables probing.
+	ASNProbeAddr string
+	ASNProbeHost string
+
+	// P, ExploreEvery, MaxConns, SyncInterval, ASNProbeInterval default as
+	// above when zero. TTL is the local_DB record lifetime.
+	P                float64
+	PSet             bool // distinguishes P=0 (valid: trust global DB fully) from unset
+	ExploreEvery     int
+	MaxConns         int
+	SyncInterval     time.Duration
+	ASNProbeInterval time.Duration
+	TTL              time.Duration
+
+	// Copies is how many redundant circumvention copies to race (Figure 6a);
+	// default 1. RedundantDelay staggers the circumvention copy behind the
+	// direct request (Figure 5b/c "2 copies (with delay)"); if the direct
+	// response lands within the delay, the copy is never sent.
+	Copies         int
+	RedundantDelay time.Duration
+	// Serial disables parallel redundancy: detect on the direct path first,
+	// then circumvent (the Figure 5a baseline).
+	Serial bool
+	// NoSelectiveRedundancy issues redundant requests even for URLs known
+	// unblocked — the ablation of §4.3.1's selective-redundancy tradeoff.
+	NoSelectiveRedundancy bool
+	// NoAggregate disables §4.4 URL aggregation (Figure 6b ablation).
+	NoAggregate bool
+	// NoMultihoming disables multihoming adaptation even when probing
+	// detects it (ablation).
+	NoMultihoming bool
+
+	Pref  Preference
+	Trust globaldb.TrustFilter
+	Seed  int64
+}
+
+func (c *Config) p() float64 {
+	if c.PSet || c.P > 0 {
+		return c.P
+	}
+	return DefaultP
+}
+
+// Client is a running C-Saw client proxy.
+type Client struct {
+	cfg   Config
+	clock *vtime.Clock
+	db    *localdb.DB
+	det   *detect.Detector
+	ldns  *dnsx.Client
+	gdns  *dnsx.Client
+
+	sem chan struct{} // client connection-load budget
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	globalCache map[string]globaldb.Entry
+	ewma        map[string]*metrics.EWMA
+	access      map[string]int
+	seenASNs    map[int]bool
+	multihomed  bool
+	counters    map[string]int
+
+	bg     sync.WaitGroup // in-flight background measurements/reports
+	loops  sync.WaitGroup // periodic sync and probe loops
+	stop   chan struct{}
+	stopMu sync.Once
+}
+
+// New assembles a client from the config.
+func New(cfg Config) (*Client, error) {
+	if cfg.Host == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("core: Host and Clock are required")
+	}
+	if len(cfg.LDNS) == 0 || len(cfg.GDNS) == 0 {
+		return nil, fmt.Errorf("core: LDNS and GDNS resolvers are required")
+	}
+	maxConns := cfg.MaxConns
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConns
+	}
+	ldns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.LDNS}
+	gdns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.GDNS}
+	c := &Client{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		db:          localdb.New(cfg.Clock, cfg.TTL, !cfg.NoAggregate),
+		ldns:        ldns,
+		gdns:        gdns,
+		sem:         make(chan struct{}, maxConns),
+		rng:         rand.New(rand.NewSource(cfg.Seed + 1)),
+		globalCache: make(map[string]globaldb.Entry),
+		ewma:        make(map[string]*metrics.EWMA),
+		access:      make(map[string]int),
+		seenASNs:    make(map[int]bool),
+		counters:    make(map[string]int),
+		stop:        make(chan struct{}),
+	}
+	c.det = &detect.Detector{
+		Clock:      cfg.Clock,
+		Dial:       c.limited(cfg.Host.Dial),
+		LDNS:       ldns,
+		GDNS:       gdns,
+		Classifier: blockpage.NewClassifier(),
+	}
+	// Every approach's upstream connections draw from the same client
+	// budget: that coupling is what makes extra copies and direct-path
+	// re-measurement cost PLT at load (Figure 5b/c, Table 6).
+	for _, a := range cfg.Approaches {
+		a.Transport.Dialer = c.limited(a.Transport.Dialer)
+	}
+	return c, nil
+}
+
+// DB exposes the local database (read-mostly, for experiments and tools).
+func (c *Client) DB() *localdb.DB { return c.db }
+
+// Clock returns the client's clock.
+func (c *Client) Clock() *vtime.Clock { return c.clock }
+
+// Detector returns the client's direct-path detector.
+func (c *Client) Detector() *detect.Detector { return c.det }
+
+// ASN returns the client's (primary) AS number.
+func (c *Client) ASN() int { return c.cfg.Host.ASes()[0].Number }
+
+// Counter returns a named event count ("served-direct", "served-circum",
+// "phase2-confirm", "phase2-overturn", "refresh", ...).
+func (c *Client) Counter(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+func (c *Client) bump(name string) {
+	c.mu.Lock()
+	c.counters[name]++
+	c.mu.Unlock()
+}
+
+// limited wraps a dialer with the client's connection budget.
+func (c *Client) limited(dial netem.DialFunc) netem.DialFunc {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, &netem.OpError{Op: "dial", Addr: addr, Err: netem.ErrTimeout}
+		}
+		raw, err := dial(ctx, addr)
+		if err != nil {
+			<-c.sem
+			return nil, err
+		}
+		return &slotConn{Conn: raw, release: func() { <-c.sem }}, nil
+	}
+}
+
+// slotConn returns its budget slot exactly once, on Close.
+type slotConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+// Close implements net.Conn.
+func (s *slotConn) Close() error {
+	err := s.Conn.Close()
+	s.once.Do(s.release)
+	return err
+}
+
+// Flow exposes the underlying netem flow when present (servers introspect
+// peers through it).
+func (s *slotConn) Flow() netem.Flow {
+	if fc, ok := s.Conn.(interface{ Flow() netem.Flow }); ok {
+		return fc.Flow()
+	}
+	return netem.Flow{}
+}
+
+// Close stops background work.
+func (c *Client) Close() {
+	c.stopMu.Do(func() { close(c.stop) })
+	c.loops.Wait()
+	c.bg.Wait()
+}
+
+// WaitIdle blocks until background measurements and reports finish —
+// deterministic test and experiment checkpoints.
+func (c *Client) WaitIdle() { c.bg.Wait() }
+
+// Multihomed reports whether probing has concluded the client is
+// multihomed.
+func (c *Client) Multihomed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.multihomed
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"csaw/internal/globaldb"
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+)
+
+// Do proxies an arbitrary HTTP request. Non-idempotent methods are never
+// duplicated ("to avoid multiple writes, HTTP POST requests are not
+// duplicated", §4.3.1 footnote 7): a POST to an unmeasured URL goes out on
+// the direct path only, and to a known-blocked URL over the selected
+// circumvention approach only — no redundant copy, no racing.
+//
+// GET requests delegate to FetchURL and enjoy the full Algorithm-1
+// treatment.
+func (c *Client) Do(ctx context.Context, req *httpx.Request) (*Result, error) {
+	if req.Method == "GET" {
+		res := c.FetchURL(ctx, localdb.JoinURL(req.Host, req.Target))
+		return res, res.Err
+	}
+	url := localdb.JoinURL(req.Host, req.Target)
+	rec, status := c.db.Lookup(url)
+	stages := rec.Stages
+	if status != localdb.Blocked {
+		if e, ok := c.globalLookup(url); ok {
+			status = localdb.Blocked
+			stages = globaldb.FromWire(e.Stages)
+		}
+	}
+
+	start := c.clock.Now()
+	if status == localdb.Blocked {
+		app := c.selectApproach(url, stages)
+		if app == nil {
+			return nil, fmt.Errorf("core: no approach can carry %s %s", req.Method, url)
+		}
+		resp, err := c.sendVia(ctx, app, req)
+		if err != nil {
+			return nil, err
+		}
+		c.bump("served-circum")
+		return &Result{URL: url, Resp: resp, Source: app.Name, Status: status, Stages: stages, Took: c.clock.Since(start)}, nil
+	}
+
+	// Unmeasured or clean: one direct attempt, never duplicated. A failure
+	// is reported to the caller; the next GET will measure properly.
+	resp, err := c.sendDirect(ctx, req)
+	if err != nil {
+		c.bump("post-direct-failed")
+		return nil, fmt.Errorf("core: direct %s %s: %w", req.Method, url, err)
+	}
+	c.bump("served-direct")
+	return &Result{URL: url, Resp: resp, Source: "direct", Status: status, Took: c.clock.Since(start)}, nil
+}
+
+// sendDirect performs one non-GET exchange on the direct path, resolving
+// via LDNS with GDNS fallback.
+func (c *Client) sendDirect(ctx context.Context, req *httpx.Request) (*httpx.Response, error) {
+	host, _ := localdb.SplitURL(req.Host)
+	ip := host
+	if !isIPLiteralCore(host) {
+		addr, err := CombinedLookup(c.ldns, c.gdns)(ctx, host)
+		if err != nil {
+			return nil, err
+		}
+		ip = addr
+	}
+	hc := &httpx.Client{Dial: c.det.Dial, Clock: c.clock}
+	return hc.Do(ctx, ip+":80", req)
+}
+
+// sendVia performs one non-GET exchange through an approach's transport:
+// same dialer, resolution, and (pseudo-)TLS/SNI rules as its GET path.
+func (c *Client) sendVia(ctx context.Context, app *Approach, req *httpx.Request) (*httpx.Response, error) {
+	t := app.Transport
+	resp, err := t.RoundTrip(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s %s via %s: %w", req.Method, req.Host+req.Target, app.Name, err)
+	}
+	return resp, nil
+}
+
+func isIPLiteralCore(s string) bool {
+	dots := 0
+	for _, c := range s {
+		switch {
+		case c == '.':
+			dots++
+		case c < '0' || c > '9':
+			return false
+		}
+	}
+	return dots == 3
+}

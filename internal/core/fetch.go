@@ -1,0 +1,389 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/blockpage"
+	"csaw/internal/detect"
+	"csaw/internal/globaldb"
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+)
+
+// Result is one proxied URL fetch.
+type Result struct {
+	URL    string
+	Resp   *httpx.Response
+	Source string // "direct" or the approach name
+	Status localdb.Status
+	Stages []localdb.Stage
+	Took   time.Duration
+	Err    error
+}
+
+// OK reports whether a response was served.
+func (r *Result) OK() bool { return r.Err == nil && r.Resp != nil }
+
+// Fetch implements web.Fetcher: the browser-facing entry point.
+func (c *Client) Fetch(ctx context.Context, host, path string) (*httpx.Response, error) {
+	res := c.FetchURL(ctx, localdb.JoinURL(host, path))
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Resp, nil
+}
+
+// FetchURL runs Algorithm 1 for one URL ("host/path").
+func (c *Client) FetchURL(ctx context.Context, url string) (res *Result) {
+	start := c.clock.Now()
+	defer func() { res.Took = c.clock.Since(start) }()
+
+	url = localdb.JoinURL(localdb.SplitURL(url))
+	rec, status := c.db.Lookup(url)
+	stages := rec.Stages
+	fromGlobal := false
+	// Algorithm 1: consult the global list only when the local_DB does not
+	// already say blocked.
+	if status != localdb.Blocked {
+		if e, ok := c.globalLookup(url); ok {
+			status = localdb.Blocked
+			stages = globaldb.FromWire(e.Stages)
+			fromGlobal = true
+		}
+	}
+	if status == localdb.Blocked && c.Multihomed() && !c.cfg.NoMultihoming {
+		// §4.4: under multihoming, circumvent for the union of the blocking
+		// observed across providers (the "more strict censorship").
+		stages = c.mergedStages(url, stages)
+	}
+
+	switch status {
+	case localdb.Blocked:
+		return c.fetchBlocked(ctx, url, stages, fromGlobal)
+	case localdb.NotBlocked:
+		if c.cfg.NoSelectiveRedundancy {
+			return c.fetchUnmeasured(ctx, url)
+		}
+		return c.fetchKnownClean(ctx, url)
+	default:
+		return c.fetchUnmeasured(ctx, url)
+	}
+}
+
+// globalLookup consults the local copy of the global_DB (exact URL, then
+// the host's base URL).
+func (c *Client) globalLookup(url string) (globaldb.Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.globalCache[url]; ok {
+		return e, true
+	}
+	e, ok := c.globalCache[localdb.BaseURL(url)]
+	return e, ok
+}
+
+// mergedStages unions locally known stages with globally reported ones.
+func (c *Client) mergedStages(url string, stages []localdb.Stage) []localdb.Stage {
+	seen := make(map[localdb.BlockType]bool, len(stages))
+	out := append([]localdb.Stage(nil), stages...)
+	for _, s := range stages {
+		seen[s.Type] = true
+	}
+	if e, ok := c.globalLookup(url); ok {
+		for _, ws := range globaldb.FromWire(e.Stages) {
+			if !seen[ws.Type] {
+				seen[ws.Type] = true
+				out = append(out, ws)
+			}
+		}
+	}
+	return out
+}
+
+// recordOutcome writes a detection outcome into the local_DB.
+func (c *Client) recordOutcome(url string, status localdb.Status, stages []localdb.Stage) {
+	c.db.Put(url, c.currentASN(), status, stages)
+}
+
+// fetchKnownClean serves a URL the DB says is unblocked: fetch the direct
+// path (which implicitly measures it — churn scenario B) without a
+// redundant copy (selective redundancy, §4.3.1).
+func (c *Client) fetchKnownClean(ctx context.Context, url string) *Result {
+	out := c.det.Measure(ctx, url, detect.HTTP)
+	if !out.Blocked() {
+		c.recordOutcome(url, localdb.NotBlocked, nil)
+		c.bump("served-direct")
+		return &Result{URL: url, Resp: out.Response, Source: "direct", Status: localdb.NotBlocked}
+	}
+	// The URL got blocked since we last looked (Unblocked→Blocked churn):
+	// circumvent now, confirming phase-1 suspicions against the copy.
+	c.bump("churn-unblocked-to-blocked")
+	return c.confirmAndServe(ctx, url, out)
+}
+
+// fetchUnmeasured handles status not-measured: redundant requests on the
+// direct path and one or more circumvention paths (§4.3.1).
+func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
+	if c.cfg.Serial {
+		out := c.det.Measure(ctx, url, detect.HTTP)
+		if !out.Blocked() {
+			c.recordOutcome(url, localdb.NotBlocked, nil)
+			c.bump("served-direct")
+			return &Result{URL: url, Resp: out.Response, Source: "direct", Status: localdb.NotBlocked}
+		}
+		return c.confirmAndServe(ctx, url, out)
+	}
+
+	directCh := make(chan detect.Outcome, 1)
+	go func() { directCh <- c.det.Measure(ctx, url, detect.HTTP) }()
+
+	circumCh := make(chan circumOut, 1)
+	launchNow := make(chan struct{})
+	var copyMu sync.Mutex
+	copyLaunched, copySkipped := false, false
+	// The redundant copy must be able to outlive this call: when the direct
+	// response is served first, the copy keeps running in the background so
+	// phase 2 can still catch a phase-1 false negative (§4.3.1). The
+	// transport's own timeout bounds it.
+	cctx := context.WithoutCancel(ctx)
+	go func() {
+		if d := c.cfg.RedundantDelay; d > 0 {
+			// Staggered copy: if the direct path answers within the delay,
+			// the redundant request is never sent (§7.1, footnote 10).
+			select {
+			case <-c.clock.After(d):
+			case <-launchNow:
+			case <-cctx.Done():
+				circumCh <- circumOut{err: cctx.Err()}
+				return
+			}
+		}
+		copyMu.Lock()
+		if copySkipped {
+			copyMu.Unlock()
+			circumCh <- circumOut{err: fmt.Errorf("core: redundant copy skipped")}
+			return
+		}
+		copyLaunched = true
+		copyMu.Unlock()
+		c.bump("circum-copy-sent")
+		resp, source, err := c.circumFetch(cctx, url, nil)
+		circumCh <- circumOut{resp: resp, source: source, err: err}
+	}()
+
+	select {
+	case out := <-directCh:
+		if !out.Blocked() && !out.Suspected {
+			// Clean direct response: serve immediately. If the copy has
+			// not been sent yet (still inside the stagger delay), it never
+			// will be; if it was, it completes in the background and phase
+			// 2 still gets to catch a phase-1 false negative via refresh.
+			copyMu.Lock()
+			if !copyLaunched && c.cfg.RedundantDelay > 0 {
+				copySkipped = true
+			}
+			copyMu.Unlock()
+			c.finishPhase2FalseNegative(url, out, circumCh)
+			c.recordOutcome(url, localdb.NotBlocked, nil)
+			c.bump("served-direct")
+			return &Result{URL: url, Resp: out.Response, Source: "direct", Status: localdb.NotBlocked}
+		}
+		// Direct path blocked or suspected: we need the circumvented copy.
+		close(launchNow)
+		cr := <-circumCh
+		return c.settle(url, out, cr.resp, cr.source, cr.err)
+	case cr := <-circumCh:
+		if cr.err == nil {
+			// The circumvention path won the race: serve it (§7.1 "the
+			// faster of the two responses is shown to the user") and let
+			// the direct measurement finish in the background.
+			c.bump("served-circum")
+			c.bg.Add(1)
+			go func() {
+				defer c.bg.Done()
+				out := <-directCh
+				res := c.settleBackground(url, out, cr.resp)
+				_ = res
+			}()
+			return &Result{URL: url, Resp: cr.resp, Source: cr.source, Status: localdb.NotMeasured}
+		}
+		// Circumvention failed; fall back to whatever the direct path says.
+		out := <-directCh
+		return c.settle(url, out, nil, "", cr.err)
+	}
+}
+
+// confirmAndServe circumvents for a URL whose direct measurement concluded
+// blocking, applying phase 2 to suspected block pages.
+func (c *Client) confirmAndServe(ctx context.Context, url string, out detect.Outcome) *Result {
+	resp, source, err := c.circumFetch(ctx, url, out.Stages)
+	return c.settle(url, out, resp, source, err)
+}
+
+// settle reconciles the direct outcome with the circumvented copy, updates
+// the DB, and chooses what to serve.
+func (c *Client) settle(url string, out detect.Outcome, circ *httpx.Response, source string, circErr error) *Result {
+	if circErr != nil {
+		circ = nil
+	}
+	status, stages := c.reconcile(url, out, circ)
+	if status == localdb.NotBlocked && out.Response != nil {
+		c.bump("served-direct")
+		return &Result{URL: url, Resp: out.Response, Source: "direct", Status: status}
+	}
+	if circ == nil {
+		// Blocked and no circumvented copy: surface the block page itself
+		// (the least-bad option) or the failure.
+		if out.Response != nil {
+			c.bump("served-blockpage")
+			return &Result{URL: url, Resp: out.Response, Source: "direct", Status: status, Stages: stages}
+		}
+		err := circErr
+		if err == nil {
+			err = out.Err
+		}
+		if err == nil {
+			err = fmt.Errorf("core: %s blocked and no circumvention available", url)
+		}
+		return &Result{URL: url, Source: source, Status: status, Stages: stages, Err: err}
+	}
+	c.bump("served-circum")
+	return &Result{URL: url, Resp: circ, Source: source, Status: status, Stages: stages}
+}
+
+// reconcile applies phase 2 (§4.3.1) and records the final verdict.
+func (c *Client) reconcile(url string, out detect.Outcome, circ *httpx.Response) (localdb.Status, []localdb.Stage) {
+	status := out.Status
+	stages := out.Stages
+	if out.Suspected && circ != nil {
+		if blockpage.Phase2(respLen(out.Response), len(circ.Body)) {
+			c.bump("phase2-confirm")
+		} else {
+			// Phase-1 false positive: the direct page was real.
+			c.bump("phase2-overturn")
+			stages = dropBlockPageStage(stages)
+			if len(stages) == 0 {
+				status = localdb.NotBlocked
+			}
+		}
+	}
+	c.recordOutcome(url, status, stages)
+	return status, stages
+}
+
+// settleBackground finishes measurement bookkeeping after the user was
+// already served the circumvented copy, including the phase-1
+// false-negative correction (page refresh, §4.3.1).
+func (c *Client) settleBackground(url string, out detect.Outcome, circ *httpx.Response) localdb.Status {
+	status := out.Status
+	stages := out.Stages
+	switch {
+	case out.Suspected && circ != nil:
+		if blockpage.Phase2(respLen(out.Response), len(circ.Body)) {
+			c.bump("phase2-confirm")
+		} else {
+			c.bump("phase2-overturn")
+			stages = dropBlockPageStage(stages)
+			if len(stages) == 0 {
+				status = localdb.NotBlocked
+			}
+		}
+	case !out.Blocked() && out.Response != nil && circ != nil:
+		// Phase-1 called it clean; the circumvented copy disagrees on size
+		// badly enough to mean manipulation → issue a refresh.
+		if blockpage.Phase2(respLen(out.Response), len(circ.Body)) {
+			c.bump("refresh")
+			status = localdb.Blocked
+			stages = []localdb.Stage{{Type: localdb.BlockContent, Detail: "size-mismatch"}}
+		}
+	}
+	c.recordOutcome(url, status, stages)
+	return status
+}
+
+// circumOut is the result of one circumvention attempt.
+type circumOut struct {
+	resp   *httpx.Response
+	source string
+	err    error
+}
+
+// finishPhase2FalseNegative arms the background page-refresh check for a
+// direct response already served to the user.
+func (c *Client) finishPhase2FalseNegative(url string, out detect.Outcome, circumCh <-chan circumOut) {
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		cr := <-circumCh
+		if cr.err != nil || cr.resp == nil {
+			return
+		}
+		c.settleBackground(url, out, cr.resp)
+	}()
+}
+
+func respLen(r *httpx.Response) int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Body)
+}
+
+// dropBlockPageStage removes the phase-1 block-page stage, keeping any
+// independently detected stages (e.g. a DNS redirect).
+func dropBlockPageStage(stages []localdb.Stage) []localdb.Stage {
+	var out []localdb.Stage
+	for _, s := range stages {
+		if (s.Type == localdb.BlockHTTP || s.Type == localdb.BlockSNI) &&
+			(s.Detail == "blockpage" || s.Detail == "blockpage-redirect") {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fetchBlocked serves a URL known (locally or globally) to be blocked:
+// circumvent with the selected approach; for globally-reported URLs on
+// relay approaches, re-measure the direct path with probability p
+// (§4.3.1 "low overhead vs resilience to false reports"). Local-fix URLs
+// use the direct path anyway, which measures it by default (Table 6 note).
+func (c *Client) fetchBlocked(ctx context.Context, url string, stages []localdb.Stage, fromGlobal bool) *Result {
+	app := c.selectApproach(url, stages)
+	if fromGlobal && c.roll() < c.cfg.p() {
+		// Validate the global report against the direct path. The
+		// measurement runs in the background but draws on the client's
+		// shared connection budget — slots held through long detection
+		// timeouts are what makes p cost PLT under load (Table 6).
+		c.bump("direct-remeasure")
+		c.bg.Add(1)
+		go func() {
+			defer c.bg.Done()
+			mctx, cancel := c.clock.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			out := c.det.Measure(mctx, url, detect.HTTP)
+			if !out.Blocked() {
+				c.bump("false-report-corrected")
+				c.recordOutcome(url, localdb.NotBlocked, nil)
+			} else {
+				c.recordOutcome(url, out.Status, out.Stages)
+			}
+		}()
+	}
+	resp, source, err := c.circumFetchVia(ctx, app, url, stages)
+	if err != nil {
+		return &Result{URL: url, Source: source, Status: localdb.Blocked, Stages: stages, Err: err}
+	}
+	c.bump("served-circum")
+	return &Result{URL: url, Resp: resp, Source: source, Status: localdb.Blocked, Stages: stages}
+}
+
+// roll draws a uniform [0,1) sample.
+func (c *Client) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+	"csaw/internal/metrics"
+	"csaw/internal/web"
+)
+
+// selectApproach picks the circumvention approach expected to yield the
+// smallest PLT (§4.3.2): local fixes over relays, then the best moving
+// average among relays, with a random choice every n-th access to keep
+// exploring. Unknown stages (nil) mean "we don't know the mechanism yet",
+// which only relays are guaranteed to beat.
+func (c *Client) selectApproach(url string, stages []localdb.Stage) *Approach {
+	var locals, relays []*Approach
+	for _, a := range c.cfg.Approaches {
+		if c.cfg.Pref == PreferAnonymity && !a.Anonymous {
+			continue
+		}
+		switch {
+		case a.Kind == KindLocalFix && stages != nil && a.Handles(url, stages):
+			locals = append(locals, a)
+		case a.Kind == KindRelay:
+			relays = append(relays, a)
+		}
+	}
+	if len(locals) > 0 {
+		return c.bestByEWMA(url, locals)
+	}
+	if len(relays) == 0 {
+		return nil
+	}
+	// Every n-th access to this URL explores a random approach (§4.3.2).
+	explore := false
+	n := c.cfg.ExploreEvery
+	if n <= 0 {
+		n = DefaultExploreEvery
+	}
+	c.mu.Lock()
+	c.access[url]++
+	if c.access[url]%n == 0 {
+		explore = true
+	}
+	c.mu.Unlock()
+	if explore && len(relays) > 1 {
+		c.bump("explore")
+		return relays[c.pick(len(relays))]
+	}
+	return c.bestByEWMA(url, relays)
+}
+
+// pick draws a uniform index.
+func (c *Client) pick(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// bestByEWMA returns the candidate with the lowest moving-average PLT for
+// this URL. Untried approaches score zero (optimistic), so each gets tried
+// before the averages take over.
+func (c *Client) bestByEWMA(url string, candidates []*Approach) *Approach {
+	best := candidates[0]
+	bestVal := math.Inf(1)
+	for _, a := range candidates {
+		v := 0.0 // optimistic default for the untried
+		if e := c.ewmaFor(a, url, false); e != nil {
+			if val, ok := e.Value(); ok {
+				v = val
+			}
+		}
+		if v < bestVal {
+			best, bestVal = a, v
+		}
+	}
+	return best
+}
+
+// ewmaFor returns the moving average for an approach, creating it when
+// create is set. §4.3.2 keeps the average per (approach, URL); local fixes
+// behave uniformly across URLs, so theirs collapse to per-approach.
+func (c *Client) ewmaFor(a *Approach, url string, create bool) *metrics.EWMA {
+	key := a.Name
+	if a.Kind == KindRelay {
+		key = a.Name + "|" + url
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.ewma[key]
+	if e == nil && create {
+		e = metrics.NewEWMA(0.3)
+		c.ewma[key] = e
+	}
+	return e
+}
+
+// circumFetch selects an approach and fetches through it.
+func (c *Client) circumFetch(ctx context.Context, url string, stages []localdb.Stage) (*httpx.Response, string, error) {
+	return c.circumFetchVia(ctx, c.selectApproach(url, stages), url, stages)
+}
+
+// circumFetchVia fetches via a specific approach, racing cfg.Copies
+// isolated copies (separate Tor circuits, Figure 6a); if every copy fails,
+// it fails over down the remaining candidates — penalizing each failure in
+// the moving averages so future selection avoids broken approaches.
+func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, stages []localdb.Stage) (*httpx.Response, string, error) {
+	if app == nil {
+		return nil, "", fmt.Errorf("core: no circumvention approach available for %s (pref=%d)", url, c.cfg.Pref)
+	}
+	host, path := localdb.SplitURL(url)
+	copies := c.cfg.Copies
+	if copies <= 0 {
+		copies = 1
+	}
+	var firstErr error
+	for attempt, a := range c.candidateOrder(url, stages, app) {
+		if attempt > 0 {
+			c.bump("failover")
+			copies = 1 // redundancy was for the chosen approach only
+		}
+		start := c.clock.Now()
+		resp, err := c.raceCopies(ctx, a, copies, host, path)
+		if err == nil && resp.StatusCode >= 400 {
+			// The approach reached *a* server but not the content (e.g. an
+			// IP-addressed request to shared hosting): a failed
+			// circumvention, not a success.
+			err = fmt.Errorf("core: %s returned %d for %s", a.Name, resp.StatusCode, url)
+		}
+		if err == nil {
+			c.ewmaObserve(a, url, c.clock.Since(start).Seconds())
+			return resp, a.Name, nil
+		}
+		c.ewmaObserve(a, url, 120)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: circumvention via %s failed: %w", a.Name, err)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, app.Name, firstErr
+}
+
+// candidateOrder is the failover sequence: the selected approach, then the
+// other applicable local fixes, then relays, each tier in EWMA order.
+func (c *Client) candidateOrder(url string, stages []localdb.Stage, first *Approach) []*Approach {
+	out := []*Approach{first}
+	seen := map[*Approach]bool{first: true}
+	appendBest := func(cands []*Approach) {
+		for len(cands) > 0 {
+			best := c.bestByEWMA(url, cands)
+			out = append(out, best)
+			var rest []*Approach
+			for _, a := range cands {
+				if a != best {
+					rest = append(rest, a)
+				}
+			}
+			cands = rest
+		}
+	}
+	var locals, relays []*Approach
+	for _, a := range c.cfg.Approaches {
+		if seen[a] {
+			continue
+		}
+		if c.cfg.Pref == PreferAnonymity && !a.Anonymous {
+			continue
+		}
+		switch {
+		case a.Kind == KindLocalFix && stages != nil && a.Handles(url, stages):
+			locals = append(locals, a)
+		case a.Kind == KindRelay:
+			relays = append(relays, a)
+		}
+	}
+	appendBest(locals)
+	appendBest(relays)
+	const maxAttempts = 4
+	if len(out) > maxAttempts {
+		out = out[:maxAttempts]
+	}
+	return out
+}
+
+func (c *Client) ewmaObserve(app *Approach, url string, seconds float64) {
+	c.ewmaFor(app, url, true).Observe(seconds)
+}
+
+// raceCopies launches k copies of the fetch (each over isolated path state
+// when the approach supports it) and returns the first success.
+func (c *Client) raceCopies(ctx context.Context, app *Approach, k int, host, path string) (*httpx.Response, error) {
+	if k == 1 {
+		return app.Transport.Fetch(ctx, host, path)
+	}
+	type one struct {
+		resp *httpx.Response
+		err  error
+	}
+	ch := make(chan one, k)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		t := app.Transport
+		if i > 0 && app.Isolate != nil {
+			iso := app.Isolate()
+			iso.Dialer = c.limited(iso.Dialer)
+			t = iso
+		}
+		wg.Add(1)
+		go func(t *web.Transport) {
+			defer wg.Done()
+			resp, err := t.Fetch(rctx, host, path)
+			ch <- one{resp, err}
+		}(t)
+	}
+	go func() { wg.Wait(); close(ch) }()
+	var lastErr error
+	for o := range ch {
+		if o.err == nil {
+			cancel() // winner takes all; losers are abandoned
+			return o.resp, nil
+		}
+		lastErr = o.err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no copies launched")
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"csaw/internal/globaldb"
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+)
+
+// Start registers with the global DB (solving the CAPTCHA), performs an
+// initial download of the blocked list for the client's AS(es) (the
+// initialization step of §3), and launches the background sync and
+// multihoming-probe loops. It is a no-op for clients without a global DB.
+func (c *Client) Start(ctx context.Context) error {
+	if c.cfg.GlobalDB != nil && c.cfg.GlobalDB.UUID() == "" {
+		if err := c.cfg.GlobalDB.Register(ctx, c.cfg.CaptchaToken); err != nil {
+			return fmt.Errorf("core: registration: %w", err)
+		}
+	}
+	if err := c.SyncNow(ctx); err != nil {
+		return err
+	}
+	c.startLoops()
+	return nil
+}
+
+// startLoops launches the periodic sync and ASN probe goroutines.
+func (c *Client) startLoops() {
+	if c.cfg.GlobalDB != nil {
+		interval := c.cfg.SyncInterval
+		if interval <= 0 {
+			interval = DefaultSyncInterval
+		}
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			tk := c.clock.NewTicker(interval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-tk.C:
+					ctx, cancel := c.clock.WithTimeout(context.Background(), interval)
+					_ = c.SyncNow(ctx)
+					cancel()
+				case <-c.stop:
+					return
+				}
+			}
+		}()
+	}
+	if c.cfg.ASNProbeAddr != "" {
+		interval := c.cfg.ASNProbeInterval
+		if interval <= 0 {
+			interval = DefaultASNProbeInterval
+		}
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			tk := c.clock.NewTicker(interval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-tk.C:
+					ctx, cancel := c.clock.WithTimeout(context.Background(), interval)
+					_ = c.ProbeASN(ctx)
+					cancel()
+				case <-c.stop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// SyncNow runs one synchronization round: post pending blocked records
+// (over the report path — Tor in a full deployment) and refresh the local
+// copy of the global blocked list for every AS the client uses.
+func (c *Client) SyncNow(ctx context.Context) error {
+	g := c.cfg.GlobalDB
+	if g == nil {
+		return nil
+	}
+	pending := c.db.PendingGlobal()
+	if len(pending) > 0 {
+		if _, err := g.Report(ctx, pending); err != nil {
+			return err
+		}
+		for _, r := range pending {
+			c.db.MarkPosted(r.URL)
+		}
+		c.mu.Lock()
+		c.counters["reports-posted"] += len(pending)
+		c.mu.Unlock()
+	}
+
+	fresh := make(map[string]globaldb.Entry)
+	for _, as := range c.cfg.Host.ASes() {
+		entries, err := g.FetchBlocked(ctx, as.Number)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !c.cfg.Trust.Trusted(e) {
+				continue
+			}
+			if prev, ok := fresh[e.URL]; ok {
+				// Multihomed clients merge stages across providers (§4.4).
+				fresh[e.URL] = mergeEntries(prev, e)
+				continue
+			}
+			fresh[e.URL] = e
+		}
+	}
+	c.mu.Lock()
+	c.globalCache = fresh
+	c.mu.Unlock()
+	return nil
+}
+
+// mergeEntries unions two entries' stages.
+func mergeEntries(a, b globaldb.Entry) globaldb.Entry {
+	seen := make(map[localdb.BlockType]bool)
+	merged := a
+	for _, s := range a.Stages {
+		seen[localdb.BlockType(s.Type)] = true
+	}
+	for _, s := range b.Stages {
+		if !seen[localdb.BlockType(s.Type)] {
+			merged.Stages = append(merged.Stages, s)
+			seen[localdb.BlockType(s.Type)] = true
+		}
+	}
+	merged.Votes += b.Votes
+	if b.Reporters > merged.Reporters {
+		merged.Reporters = b.Reporters
+	}
+	return merged
+}
+
+// GlobalCacheLen reports how many globally-reported blocked URLs the client
+// currently trusts.
+func (c *Client) GlobalCacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.globalCache)
+}
+
+// ProbeASN asks the ASN-echo service which AS this connection egressed
+// through and folds the answer into multihoming detection (§4.4: "if over
+// short timescales, more than one ASN is returned, we mark the network to
+// be multi-homed").
+func (c *Client) ProbeASN(ctx context.Context) error {
+	if c.cfg.ASNProbeAddr == "" {
+		return fmt.Errorf("core: no ASN probe service configured")
+	}
+	hc := &httpx.Client{Dial: c.cfg.Host.Dial, Clock: c.clock, Timeout: 10 * time.Second}
+	host := c.cfg.ASNProbeHost
+	if host == "" {
+		host = "asn.echo"
+	}
+	resp, err := hc.Get(ctx, c.cfg.ASNProbeAddr, host, "/asn")
+	if err != nil {
+		return err
+	}
+	asn, err := strconv.Atoi(strings.TrimSpace(string(resp.Body)))
+	if err != nil || asn == 0 {
+		return fmt.Errorf("core: bad ASN echo %q", resp.Body)
+	}
+	c.mu.Lock()
+	c.seenASNs[asn] = true
+	if len(c.seenASNs) > 1 {
+		c.multihomed = true
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// currentASN is the AS number recorded with measurements: the single
+// provider's, or the primary one for multihomed hosts (per-measurement
+// egress attribution is not observable to a real client either).
+func (c *Client) currentASN() int {
+	return c.cfg.Host.ASes()[0].Number
+}

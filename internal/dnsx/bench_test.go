@@ -1,0 +1,31 @@
+package dnsx
+
+import "testing"
+
+// BenchmarkMarshalQuery measures query encoding.
+func BenchmarkMarshalQuery(b *testing.B) {
+	q := NewQuery(42, "www.youtube.com")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshalResponse measures response decoding.
+func BenchmarkUnmarshalResponse(b *testing.B) {
+	resp := NewQuery(42, "www.youtube.com").Reply().
+		AnswerA("www.youtube.com", "203.0.113.1", 300).
+		AnswerA("www.youtube.com", "203.0.113.2", 300)
+	raw, err := resp.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

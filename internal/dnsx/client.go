@@ -1,0 +1,205 @@
+package dnsx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// Stub resolver defaults, chosen to reproduce the detection-time profile of
+// Table 5: a resolver that answers REFUSED fails in one RTT (~25 ms); one
+// that answers SERVFAIL is retried on a full attempt budget (~10.6 s); one
+// that drops queries burns Attempts × AttemptTimeout (~10 s).
+const (
+	DefaultAttemptTimeout = 5 * time.Second
+	DefaultAttempts       = 2
+)
+
+// Client is a stub resolver. Zero values of AttemptTimeout and Attempts take
+// the defaults above.
+type Client struct {
+	Dial           netem.DialFunc
+	Clock          *vtime.Clock
+	Servers        []string // resolver addresses, "ip:53", tried in order
+	AttemptTimeout time.Duration
+	Attempts       int
+	// HoldOn, when positive, enables the Hold-On defense against on-path
+	// DNS injection [31]: after the first answer arrives, keep listening
+	// for up to this long; if a second answer for the same query shows up,
+	// prefer it — the genuine response travels farther than the injector's
+	// and lands later.
+	HoldOn time.Duration
+
+	id atomic.Uint32
+}
+
+// NewClient builds a stub resolver for a host using the given resolver
+// addresses.
+func NewClient(host *netem.Host, servers ...string) *Client {
+	return &Client{Dial: host.Dial, Clock: host.Network().Clock(), Servers: servers}
+}
+
+// Result is the outcome of a lookup.
+type Result struct {
+	Name   string
+	IPs    []string
+	RCode  int           // meaningful when Err == nil or errors.Is(Err, ErrRCode)
+	Server string        // resolver that produced the final outcome
+	Took   time.Duration // virtual time spent
+	Err    error
+}
+
+// Errors produced by Lookup, distinguishable with errors.Is.
+var (
+	// ErrNoResponse means every attempt timed out with no answer at all —
+	// the censor's query/response-drop case ("No DNS" in Figure 2).
+	ErrNoResponse = errors.New("dnsx: no response")
+	// ErrRCode means the resolver answered with a non-zero RCODE; Result.RCode
+	// holds it.
+	ErrRCode = errors.New("dnsx: resolver returned error rcode")
+)
+
+// OK reports whether the lookup yielded usable addresses.
+func (r Result) OK() bool { return r.Err == nil && len(r.IPs) > 0 }
+
+func (c *Client) attemptTimeout() time.Duration {
+	if c.AttemptTimeout > 0 {
+		return c.AttemptTimeout
+	}
+	return DefaultAttemptTimeout
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return DefaultAttempts
+}
+
+// Lookup resolves name to A records using the client's retry policy.
+func (c *Client) Lookup(ctx context.Context, name string) (res Result) {
+	start := c.Clock.Now()
+	res = Result{Name: CanonicalName(name)}
+	defer func() { res.Took = c.Clock.Since(start) }()
+
+	if len(c.Servers) == 0 {
+		res.Err = fmt.Errorf("dnsx: no resolvers configured")
+		return res
+	}
+
+	sawServfail := false
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		for _, server := range c.Servers {
+			attemptStart := c.Clock.Now()
+			msg, err := c.exchange(ctx, server, name)
+			switch {
+			case err == nil:
+				res.Server = server
+				res.RCode = msg.RCode
+				switch msg.RCode {
+				case RCodeNoError:
+					res.IPs = msg.AnswerIPs()
+					if len(res.IPs) == 0 {
+						res.Err = fmt.Errorf("%w: empty NOERROR answer", ErrRCode)
+					}
+					return res
+				case RCodeNXDomain, RCodeRefused:
+					// Authoritative-style failures: no point retrying, which
+					// is why REFUSED blocking is detected in ~one RTT.
+					res.Err = fmt.Errorf("%w: %s", ErrRCode, RCodeName(msg.RCode))
+					return res
+				case RCodeServFail:
+					// Possibly transient: hold on for the rest of the attempt
+					// budget and retry, the behaviour that stretches SERVFAIL
+					// blocking detection to ~10.6s.
+					sawServfail = true
+					spent := c.Clock.Since(attemptStart)
+					if rest := c.attemptTimeout() - spent; rest > 0 {
+						if c.Clock.SleepCtx(ctx, rest) != nil {
+							res.Err = ctx.Err()
+							return res
+						}
+					}
+				default:
+					res.Err = fmt.Errorf("%w: %s", ErrRCode, RCodeName(msg.RCode))
+					return res
+				}
+			case ctx.Err() != nil:
+				res.Err = ctx.Err()
+				return res
+			default:
+				// Timeout or transport failure: move to the next attempt.
+			}
+		}
+	}
+	if sawServfail {
+		res.RCode = RCodeServFail
+		res.Err = fmt.Errorf("%w: %s after %d attempts", ErrRCode, RCodeName(RCodeServFail), c.attempts())
+		return res
+	}
+	res.Err = fmt.Errorf("%w: %s after %d attempts", ErrNoResponse, res.Name, c.attempts())
+	return res
+}
+
+// exchange performs one query/response round with one resolver.
+func (c *Client) exchange(ctx context.Context, server, name string) (*Message, error) {
+	actx, cancel := c.Clock.WithTimeout(ctx, c.attemptTimeout())
+	defer cancel()
+	conn, err := c.Dial(actx, server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := c.Clock.Now().Add(c.attemptTimeout())
+	_ = conn.SetDeadline(deadline)
+	// The conn deadline covers the attempt budget; also unblock promptly if
+	// the caller's context ends first.
+	stop := context.AfterFunc(actx, func() { conn.Close() })
+	defer stop()
+
+	id := uint16(c.id.Add(1))
+	q := NewQuery(id, name)
+	if err := WriteMessage(conn, q); err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := ReadMessage(conn)
+		if err != nil {
+			return nil, err
+		}
+		if resp.ID != id || !resp.Response {
+			continue // stray or spoofed-mismatch message; keep waiting
+		}
+		if c.HoldOn > 0 {
+			if later := c.holdOn(conn, id); later != nil {
+				return later, nil
+			}
+		}
+		return resp, nil
+	}
+}
+
+// holdOn waits briefly for a second answer to the same query and returns
+// it, or nil if none arrives — the injected answer always arrives first,
+// so a conflicting later answer is the genuine one.
+func (c *Client) holdOn(conn interface {
+	Read([]byte) (int, error)
+	SetReadDeadline(t time.Time) error
+}, id uint16) *Message {
+	_ = conn.SetReadDeadline(c.Clock.Now().Add(c.HoldOn))
+	defer conn.SetReadDeadline(c.Clock.Now().Add(c.attemptTimeout()))
+	for {
+		resp, err := ReadMessage(conn)
+		if err != nil {
+			return nil // silence: the first answer stands
+		}
+		if resp.ID == id && resp.Response {
+			return resp
+		}
+	}
+}

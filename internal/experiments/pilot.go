@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/core"
+	"csaw/internal/localdb"
+	"csaw/internal/metrics"
+	"csaw/internal/web"
+	"csaw/internal/worldgen"
+)
+
+// pilotMechanisms is the blocked-domain population of the simulated pilot:
+// how many domains are filtered by each mechanism, shaped after Table 7's
+// per-mechanism URL counts (DNS-heavy, block pages most common).
+var pilotMechanisms = []struct {
+	name  string
+	count int
+	paths int // URL variants users visit per domain
+}{
+	{"dns-drop", 100, 1},    // host-level: aggregates to one URL
+	{"dns-redirect", 70, 1}, // host-level
+	{"tcp-drop", 60, 1},     // host-level
+	{"blockpage", 150, 3},   // URL-level: several paths per domain
+	{"http-rst", 25, 2},     // URL-level
+	{"http-drop", 15, 2},    // URL-level
+}
+
+// Table7 simulates the pilot deployment: 123 consenting users behind 16
+// ASes browsing naturally for a compressed observation window, reporting
+// into the global DB, whose aggregate statistics reproduce Table 7's shape.
+func Table7(o Options) (*Result, error) {
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 800
+	}
+	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	users := o.runs(123)
+	const ases = 16
+
+	// Build the site population: blocked domains per mechanism plus clean
+	// sites, all on one origin.
+	type dom struct {
+		host  string
+		mech  string
+		paths int
+	}
+	var doms []dom
+	var sites []*web.Site
+	idx := 0
+	for _, m := range pilotMechanisms {
+		for i := 0; i < m.count; i++ {
+			host := fmt.Sprintf("blocked-%s-%03d.example", m.name, i)
+			s := web.NewSite(host)
+			s.AddPage("/", "Site "+host, 4<<10, 6<<10)
+			for p := 1; p < m.paths; p++ {
+				s.AddPage(fmt.Sprintf("/page%d.html", p), fmt.Sprintf("%s page %d", host, p), 3<<10)
+			}
+			sites = append(sites, s)
+			doms = append(doms, dom{host: host, mech: m.name, paths: m.paths})
+			idx++
+		}
+	}
+	for i := 0; i < 40; i++ {
+		host := fmt.Sprintf("clean-%03d.example", i)
+		s := web.NewSite(host)
+		s.AddPage("/", "Clean "+host, 4<<10)
+		sites = append(sites, s)
+	}
+	// Spread sites across a handful of origins (the Origin mux scales, but
+	// keep per-origin site counts moderate).
+	for start := 0; start < len(sites); start += 120 {
+		end := min(start+120, len(sites))
+		if _, err := w.AddOrigin(fmt.Sprintf("origin-pilot-%d", start), false, sites[start:end]...); err != nil {
+			return nil, err
+		}
+	}
+
+	// 16 censoring ASes, each enforcing every domain's assigned mechanism.
+	var isps []*worldgen.ISP
+	for a := 0; a < ases; a++ {
+		isp, err := w.AddISP(56000+a, fmt.Sprintf("PILOT-AS-%02d", a), nil)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := w.AddBlockPageHost(isp, fmt.Sprintf("block.as%02d.pk", a))
+		if err != nil {
+			return nil, err
+		}
+		p := &censor.Policy{
+			Name:       fmt.Sprintf("pilot-as-%02d", a),
+			DNS:        map[string]censor.DNSAction{},
+			IP:         map[string]censor.IPAction{},
+			RedirectIP: bp.IP(),
+		}
+		for _, d := range doms {
+			switch d.mech {
+			case "dns-drop":
+				p.DNS[d.host] = censor.DNSDrop
+			case "dns-redirect":
+				p.DNS[d.host] = censor.DNSRedirect
+			case "tcp-drop":
+				p.IP[w.Registry.Lookup(d.host)[0]] = censor.IPDrop
+			case "blockpage":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: d.host, Action: censor.HTTPBlockPage})
+			case "http-rst":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: d.host, Action: censor.HTTPReset})
+			case "http-drop":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: d.host, Action: censor.HTTPDrop})
+			}
+		}
+		isp.Censor.SetPolicy(p)
+		isps = append(isps, isp)
+	}
+
+	// 123 users browse: each visits a personal sample of blocked and clean
+	// URLs, then syncs with the global DB.
+	rng := rand.New(rand.NewSource(o.seed() * 31))
+	type userPlan struct {
+		isp  *worldgen.ISP
+		urls []string
+	}
+	plans := make([]userPlan, users)
+	for u := range plans {
+		isp := isps[u%ases]
+		visits := 9 + rng.Intn(7)
+		var urls []string
+		for v := 0; v < visits; v++ {
+			d := doms[rng.Intn(len(doms))]
+			path := "/"
+			if d.paths > 1 && rng.Intn(2) == 1 {
+				path = fmt.Sprintf("/page%d.html", 1+rng.Intn(d.paths-1))
+			}
+			urls = append(urls, d.host+path)
+		}
+		for v := 0; v < 3; v++ {
+			urls = append(urls, fmt.Sprintf("clean-%03d.example/", rng.Intn(40)))
+		}
+		plans[u] = userPlan{isp: isp, urls: urls}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, users)
+	for u, plan := range plans {
+		wg.Add(1)
+		go func(u int, plan userPlan) {
+			defer wg.Done()
+			// Users install over time, not in one stampede.
+			w.Clock.Sleep(time.Duration(u) * 500 * time.Millisecond)
+			host := w.NewClientHost(fmt.Sprintf("pilot-user-%03d", u), plan.isp)
+			cfg := w.ClientConfig(host, o.seed()+int64(u))
+			cfg.PSet = true // rely on the global DB; pilot measures organically
+			cfg.SyncInterval = time.Hour
+			cl, err := core.New(cfg)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			if err := cl.Start(context.Background()); err != nil {
+				errCh <- fmt.Errorf("user %d start: %w", u, err)
+				return
+			}
+			for _, url := range plan.urls {
+				_ = cl.FetchURL(context.Background(), url) // failures are data too
+			}
+			cl.WaitIdle()
+			if err := cl.SyncNow(context.Background()); err != nil {
+				errCh <- fmt.Errorf("user %d sync: %w", u, err)
+			}
+		}(u, plan)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	st := w.GlobalDB.StatsSnapshot()
+	res := &Result{ID: "table7", Title: fmt.Sprintf("Pilot study aggregates (%d simulated users)", users)}
+	tbl := metrics.Table{Headers: []string{"quantity", "measured", "paper"}}
+	tbl.AddRow("No. of users", fmt.Sprintf("%d", st.Users), "123")
+	tbl.AddRow("Unique blocked URLs accessed", fmt.Sprintf("%d", st.BlockedURLs), "997")
+	tbl.AddRow("Unique blocked domains accessed", fmt.Sprintf("%d", st.BlockedDomains), "420")
+	tbl.AddRow("Unique ASes", fmt.Sprintf("%d", st.ASes), "16")
+	tbl.AddRow("Distinct types of blocking observed", fmt.Sprintf("%d", st.BlockTypes), "5")
+	tbl.AddRow("URLs experiencing DNS blocking", fmt.Sprintf("%d", st.ByType["dns"]), "376")
+	tbl.AddRow("URLs experiencing TCP connection timeout", fmt.Sprintf("%d", st.ByType["tcp-timeout"]), "114")
+	tbl.AddRow("URLs with a block page returned", fmt.Sprintf("%d", st.ByType["blockpage"]), "475")
+	tbl.AddRow("No. of unique updates", fmt.Sprintf("%d", st.Updates), "1787")
+	res.Text = tbl.String()
+	res.Metric("users", float64(st.Users))
+	res.Metric("blocked_urls", float64(st.BlockedURLs))
+	res.Metric("blocked_domains", float64(st.BlockedDomains))
+	res.Metric("ases", float64(st.ASes))
+	res.Metric("block_types", float64(st.BlockTypes))
+	res.Metric("urls.dns", float64(st.ByType["dns"]))
+	res.Metric("urls.tcp_timeout", float64(st.ByType["tcp-timeout"]))
+	res.Metric("urls.blockpage", float64(st.ByType["blockpage"]))
+	res.Metric("updates", float64(st.Updates))
+	res.Note("block pages are the most common mechanism, DNS blocking second — matching §7.4; CDN-style blocking shows up because embedded third-party objects are measured too")
+	return res, nil
+}
+
+// Wild reproduces §7.5: Twitter and Instagram get blocked mid-run by
+// different ASes with different mechanisms, and C-Saw users surface the
+// event timeline in the global DB.
+func Wild(o Options) (*Result, error) {
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 500
+	}
+	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	// The services and the observing ASes of the §7.5 snapshot.
+	twitter := web.NewSite("twitter.example")
+	twitter.AddPage("/", "Twitter", 6<<10)
+	insta := web.NewSite("instagram.example")
+	insta.AddPage("/", "Instagram", 6<<10)
+	if _, err := w.AddOrigin("origin-social-wild", false, twitter, insta); err != nil {
+		return nil, err
+	}
+	asns := []int{38193, 17557, 59257, 45773}
+	var isps []*worldgen.ISP
+	for _, asn := range asns {
+		isp, err := w.AddISP(asn, fmt.Sprintf("AS%d", asn), nil)
+		if err != nil {
+			return nil, err
+		}
+		isps = append(isps, isp)
+	}
+	bp, err := w.AddBlockPageHost(isps[1], "block.as17557.pk")
+	if err != nil {
+		return nil, err
+	}
+
+	// One C-Saw user per AS, with a short record TTL so re-visits
+	// re-measure after the policy flip.
+	var clients []*core.Client
+	for i, isp := range isps {
+		host := w.NewClientHost(fmt.Sprintf("wild-user-%d", i), isp)
+		cfg := w.ClientConfig(host, o.seed()+int64(i))
+		cfg.PSet = true
+		cfg.SyncInterval = time.Hour
+		cfg.TTL = 30 * time.Minute
+		cl, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Start(context.Background()); err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+	}
+	browseAll := func() {
+		var wg sync.WaitGroup
+		for _, cl := range clients {
+			wg.Add(1)
+			go func(cl *core.Client) {
+				defer wg.Done()
+				_ = cl.FetchURL(context.Background(), "twitter.example/")
+				_ = cl.FetchURL(context.Background(), "instagram.example/")
+				cl.WaitIdle()
+				_ = cl.SyncNow(context.Background())
+			}(cl)
+		}
+		wg.Wait()
+	}
+
+	// Nov 25, morning: everything reachable.
+	browseAll()
+	if st := w.GlobalDB.StatsSnapshot(); st.BlockedURLs != 0 {
+		return nil, fmt.Errorf("wild: pre-event blocked URLs = %d, want 0", st.BlockedURLs)
+	}
+
+	// ~13:30, Nov 25: the protests begin; Twitter gets blocked — AS 38193
+	// swallows GETs, AS 17557 serves a block page.
+	sleepUntil(w, 25, 13, 25)
+	isps[0].Censor.SetPolicy(&censor.Policy{HTTP: []censor.HTTPRule{{Host: "twitter.example", Action: censor.HTTPDrop}}})
+	isps[1].Censor.SetPolicy(&censor.Policy{HTTP: []censor.HTTPRule{{Host: "twitter.example", Action: censor.HTTPBlockPage}}, BlockPageURL: "block.as17557.pk/", BlockPageHTML: nil})
+	_ = bp
+	sleepUntil(w, 25, 13, 30)
+	browseAll()
+
+	// Early Nov 26: Instagram gets DNS-blocked on three ASes.
+	sleepUntil(w, 26, 4, 45)
+	for _, i := range []int{0, 2, 3} {
+		p := isps[i].Censor.Policy()
+		np := &censor.Policy{DNS: map[string]censor.DNSAction{"instagram.example": censor.DNSDrop}}
+		if p != nil && len(p.HTTP) > 0 {
+			np.HTTP = p.HTTP
+		}
+		isps[i].Censor.SetPolicy(np)
+	}
+	sleepUntil(w, 26, 4, 50)
+	browseAll()
+
+	// Render the timeline from the global DB, as §7.5 lists it.
+	res := &Result{ID: "wild", Title: "Blocking events observed via the global DB (Nov 25-26, 2017)"}
+	type event struct {
+		when time.Time
+		asn  int
+		url  string
+		how  string
+	}
+	var events []event
+	for _, asn := range asns {
+		for _, e := range w.GlobalDB.BlockedForAS(asn) {
+			stages := ""
+			for i, s := range e.Stages {
+				if i > 0 {
+					stages += "+"
+				}
+				stages += localdb.BlockType(s.Type).String()
+				if s.Detail != "" {
+					stages += "(" + s.Detail + ")"
+				}
+			}
+			events = append(events, event{when: e.LastTp, asn: asn, url: e.URL, how: stages})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].when.Before(events[j].when) })
+	tbl := metrics.Table{Headers: []string{"time (virtual)", "AS", "URL", "mechanism"}}
+	twitterASes, instaASes := map[int]bool{}, map[int]bool{}
+	for _, e := range events {
+		tbl.AddRow(e.when.Format("Jan 2 15:04"), fmt.Sprintf("AS%d", e.asn), e.url, e.how)
+		if e.url == "twitter.example/" {
+			twitterASes[e.asn] = true
+		}
+		if e.url == "instagram.example/" {
+			instaASes[e.asn] = true
+		}
+	}
+	res.Text = tbl.String()
+	res.Metric("events", float64(len(events)))
+	res.Metric("twitter_ases", float64(len(twitterASes)))
+	res.Metric("instagram_ases", float64(len(instaASes)))
+	res.Note("paper snapshot: Twitter blocked differently by 2 ASes (GET timeout vs block page); Instagram DNS-blocked by 3 ASes")
+	return res, nil
+}
+
+// sleepUntil advances virtual time to the given Nov day/hour/minute (2017).
+// The timeline spans hours, so the jump uses Clock.Advance (the system is
+// quiescent between browsing phases).
+func sleepUntil(w *worldgen.World, day, hour, minute int) {
+	target := time.Date(2017, time.November, day, hour, minute, 0, 0, time.UTC)
+	if d := target.Sub(w.Clock.Now()); d > 0 {
+		w.Clock.Advance(d)
+	}
+}

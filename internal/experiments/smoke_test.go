@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// smoke-run each experiment with tiny run counts
+func TestSmokeTable1(t *testing.T)     { smoke(t, "table1", 2) }
+func TestSmokeTable2(t *testing.T)     { smoke(t, "table2", 2) }
+func TestSmokeFigure1a(t *testing.T)   { smoke(t, "figure1a", 3) }
+func TestSmokeFigure1b(t *testing.T)   { smoke(t, "figure1b", 6) }
+func TestSmokeFigure1c(t *testing.T)   { smoke(t, "figure1c", 3) }
+func TestSmokeFigure2(t *testing.T)    { smoke(t, "figure2", 2) }
+func TestSmokeTable5(t *testing.T)     { smoke(t, "table5", 2) }
+func TestSmokeFigure5a(t *testing.T)   { smoke(t, "figure5a", 1) }
+func TestSmokeFigure5b(t *testing.T)   { smoke(t, "figure5b", 8) }
+func TestSmokeFigure5c(t *testing.T)   { smoke(t, "figure5c", 8) }
+func TestSmokeFigure6a(t *testing.T)   { smoke(t, "figure6a", 4) }
+func TestSmokeFigure6b(t *testing.T)   { smoke(t, "figure6b", 2) }
+func TestSmokeTable6(t *testing.T)     { smoke(t, "table6", 3) }
+func TestSmokeFigure7a(t *testing.T)   { smoke(t, "figure7a", 3) }
+func TestSmokeFigure7b(t *testing.T)   { smoke(t, "figure7b", 3) }
+func TestSmokeFigure7c(t *testing.T)   { smoke(t, "figure7c", 2) }
+func TestSmokeTable7(t *testing.T)     { smoke(t, "table7", 12) }
+func TestSmokeWild(t *testing.T)       { smoke(t, "wild", 2) }
+func TestSmokeClassifier(t *testing.T) { smoke(t, "classifier", 1) }
+func TestSmokeAbl1(t *testing.T)       { smoke(t, "ablation-selective", 4) }
+func TestSmokeAbl2(t *testing.T)       { smoke(t, "ablation-voting", 30) }
+func TestSmokeAbl3(t *testing.T)       { smoke(t, "ablation-multihoming", 4) }
+func TestSmokeAbl4(t *testing.T)       { smoke(t, "ablation-explore", 8) }
+
+func smoke(t *testing.T, id string, runs int) {
+	t.Helper()
+	r := Find(id)
+	if r == nil {
+		t.Fatalf("no runner %s", id)
+	}
+	res, err := r.Run(Options{Runs: runs, Seed: 3})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	t.Log("\n" + res.Render())
+}
+
+func TestSmokeAbl5(t *testing.T) { smoke(t, "ablation-fingerprint", 3) }

@@ -1,0 +1,135 @@
+// Package globaldb implements C-Saw's crowdsourced measurement service: the
+// global_DB plus the co-located server_DB of §4.2 and §5.
+//
+// Clients register by solving a (simulated) "No CAPTCHA reCAPTCHA" and
+// receive a UUID — a hash of the server time, as in the paper — used for
+// all future updates. They periodically post the blocked URLs they measured
+// and download the blocked-URL list for their own AS. No IP addresses are
+// stored (the paper's privacy constraint); abuse is limited by the CAPTCHA
+// rate limit and by the §5 voting mechanism: each client holds one unit of
+// vote spread evenly over the d blocked URLs it reports (v = 1/d), and per
+// (URL, AS) the server exposes the vote sum s_jk and reporter count n_jk so
+// consumers can discount low-confidence or spammy measurements.
+package globaldb
+
+import (
+	"time"
+
+	"csaw/internal/localdb"
+)
+
+// API paths.
+const (
+	PathRegister = "/v1/register"
+	PathReport   = "/v1/report"
+	PathFetch    = "/v1/blocked"
+	PathStats    = "/v1/stats"
+)
+
+// CaptchaHeader carries the solved-CAPTCHA token on registration.
+const CaptchaHeader = "X-Recaptcha-Token"
+
+// RegisterResponse returns the server-assigned UUID.
+type RegisterResponse struct {
+	UUID string `json:"uuid"`
+}
+
+// WireStage mirrors localdb.Stage for transport.
+type WireStage struct {
+	Type   int    `json:"type"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is one blocked-URL measurement posted by a client. Only blocked
+// URLs are reported (§3: updates include information about blocked URLs
+// only).
+type Report struct {
+	URL    string      `json:"url"`
+	ASN    int         `json:"asn"`
+	Stages []WireStage `json:"stages"`
+	Tm     time.Time   `json:"tm"` // when the client measured it
+}
+
+// ReportRequest is a batch of reports from one client.
+type ReportRequest struct {
+	UUID    string   `json:"uuid"`
+	Reports []Report `json:"reports"`
+}
+
+// ReportResponse acknowledges accepted reports.
+type ReportResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// Entry is one aggregated blocked-URL record served to clients of an AS,
+// with the §5 confidence statistics.
+type Entry struct {
+	URL       string      `json:"url"`
+	ASN       int         `json:"asn"`
+	Stages    []WireStage `json:"stages"`
+	LastTp    time.Time   `json:"last_tp"` // most recent post time
+	Votes     float64     `json:"s"`       // s_jk
+	Reporters int         `json:"n"`       // n_jk
+}
+
+// FetchResponse is the per-AS blocked list.
+type FetchResponse struct {
+	ASN     int     `json:"asn"`
+	Entries []Entry `json:"entries"`
+}
+
+// Stats aggregates the deployment-level numbers reported in Table 7.
+type Stats struct {
+	Users          int            `json:"users"`
+	BlockedURLs    int            `json:"blocked_urls"`
+	BlockedDomains int            `json:"blocked_domains"`
+	ASes           int            `json:"ases"`
+	BlockTypes     int            `json:"block_types"`
+	ByType         map[string]int `json:"by_type"` // URLs per primary mechanism
+	Updates        int            `json:"updates"`
+}
+
+// ToWire converts localdb stages for transport.
+func ToWire(stages []localdb.Stage) []WireStage {
+	out := make([]WireStage, len(stages))
+	for i, s := range stages {
+		out[i] = WireStage{Type: int(s.Type), Detail: s.Detail}
+	}
+	return out
+}
+
+// FromWire converts transport stages back to localdb stages.
+func FromWire(stages []WireStage) []localdb.Stage {
+	out := make([]localdb.Stage, len(stages))
+	for i, s := range stages {
+		out[i] = localdb.Stage{Type: localdb.BlockType(s.Type), Detail: s.Detail}
+	}
+	return out
+}
+
+// TrustFilter is the client-side confidence rule of §5: distrust entries
+// with too few reporters, and entries whose vote sum is small relative to
+// their reporter count (many reports per user — the spammer signature).
+type TrustFilter struct {
+	// MinReporters is the minimum n_jk (default 1).
+	MinReporters int
+	// MinAvgVote is the minimum s_jk/n_jk (default 0.02, i.e. distrust
+	// clients spraying votes over 50+ URLs).
+	MinAvgVote float64
+}
+
+// Trusted applies the filter.
+func (f TrustFilter) Trusted(e Entry) bool {
+	minN := f.MinReporters
+	if minN <= 0 {
+		minN = 1
+	}
+	minAvg := f.MinAvgVote
+	if minAvg <= 0 {
+		minAvg = 0.02
+	}
+	if e.Reporters < minN {
+		return false
+	}
+	return e.Votes/float64(e.Reporters) >= minAvg
+}

@@ -1,0 +1,150 @@
+package globaldb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// Client talks to the global DB. Its dialer decides the path: C-Saw sends
+// censorship reports over Tor so a snooping censor cannot identify
+// contributors (§5 "User privacy and resilience to detection"), while
+// list fetches may use any reachable path.
+type Client struct {
+	Addr  string // server "ip:port" (or "host:port" for hostname-capable dialers)
+	Host  string // Host header value
+	Clock *vtime.Clock
+	// ReportDial carries report traffic (Tor in the paper's deployment);
+	// FetchDial carries registration and list downloads.
+	ReportDial netem.DialFunc
+	FetchDial  netem.DialFunc
+	// Timeout bounds each API call (virtual); default 30s.
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	uuid string
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+// UUID returns the registered identity, or "".
+func (c *Client) UUID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uuid
+}
+
+// SetUUID restores a previously assigned identity.
+func (c *Client) SetUUID(u string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.uuid = u
+}
+
+func (c *Client) do(ctx context.Context, dial netem.DialFunc, req *httpx.Request) (*httpx.Response, error) {
+	hc := &httpx.Client{Dial: dial, Clock: c.Clock, Timeout: c.timeout()}
+	return hc.Do(ctx, c.Addr, req)
+}
+
+// Register solves the CAPTCHA (the token models the user's solution) and
+// obtains a UUID.
+func (c *Client) Register(ctx context.Context, captchaToken string) error {
+	req := httpx.NewRequest("POST", c.Host, PathRegister)
+	req.Header.Set(CaptchaHeader, captchaToken)
+	resp, err := c.do(ctx, c.FetchDial, req)
+	if err != nil {
+		return fmt.Errorf("globaldb: register: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("globaldb: register: %d %s", resp.StatusCode, resp.Body)
+	}
+	var rr RegisterResponse
+	if err := json.Unmarshal(resp.Body, &rr); err != nil {
+		return fmt.Errorf("globaldb: register: %w", err)
+	}
+	c.SetUUID(rr.UUID)
+	return nil
+}
+
+// Report posts blocked-URL records (over the report path) and returns how
+// many the server accepted.
+func (c *Client) Report(ctx context.Context, recs []localdb.Record) (int, error) {
+	uuid := c.UUID()
+	if uuid == "" {
+		return 0, fmt.Errorf("globaldb: not registered")
+	}
+	body := ReportRequest{UUID: uuid}
+	for _, r := range recs {
+		if r.Status != localdb.Blocked {
+			continue // only blocked URLs are ever reported (§3)
+		}
+		body.Reports = append(body.Reports, Report{
+			URL: r.URL, ASN: r.ASN, Stages: ToWire(r.Stages), Tm: r.Measured,
+		})
+	}
+	if len(body.Reports) == 0 {
+		return 0, nil
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req := httpx.NewRequest("POST", c.Host, PathReport)
+	req.Header.Set("Content-Type", "application/json")
+	req.Body = b
+	resp, err := c.do(ctx, c.ReportDial, req)
+	if err != nil {
+		return 0, fmt.Errorf("globaldb: report: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return 0, fmt.Errorf("globaldb: report: %d %s", resp.StatusCode, resp.Body)
+	}
+	var rr ReportResponse
+	if err := json.Unmarshal(resp.Body, &rr); err != nil {
+		return 0, err
+	}
+	return rr.Accepted, nil
+}
+
+// FetchBlocked downloads the blocked-URL list for an AS.
+func (c *Client) FetchBlocked(ctx context.Context, asn int) ([]Entry, error) {
+	req := httpx.NewRequest("GET", c.Host, fmt.Sprintf("%s?asn=%d", PathFetch, asn))
+	resp, err := c.do(ctx, c.FetchDial, req)
+	if err != nil {
+		return nil, fmt.Errorf("globaldb: fetch: %w", err)
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("globaldb: fetch: %d %s", resp.StatusCode, resp.Body)
+	}
+	var fr FetchResponse
+	if err := json.Unmarshal(resp.Body, &fr); err != nil {
+		return nil, err
+	}
+	return fr.Entries, nil
+}
+
+// FetchStats downloads the server's aggregate statistics.
+func (c *Client) FetchStats(ctx context.Context) (Stats, error) {
+	req := httpx.NewRequest("GET", c.Host, PathStats)
+	resp, err := c.do(ctx, c.FetchDial, req)
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(resp.Body, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,320 @@
+package globaldb
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// CaptchaVerifier decides whether a registration's CAPTCHA token represents
+// a solved challenge. The default accepts tokens with the "human-" prefix —
+// the simulation stand-in for Google's risk-analysis API (§5) — so tests
+// and experiments can model bots by sending anything else.
+type CaptchaVerifier func(token string) bool
+
+// DefaultCaptcha is the stand-in verifier.
+func DefaultCaptcha(token string) bool { return strings.HasPrefix(token, "human-") }
+
+// RegistrationRateLimit caps registrations per source IP per hour, the
+// server's second line against fake-account floods.
+const RegistrationRateLimit = 5
+
+// Server is the global_DB + server_DB.
+type Server struct {
+	clock   *vtime.Clock
+	captcha CaptchaVerifier
+
+	mu      sync.Mutex
+	uuidSeq uint64
+	clients map[string]map[string]*clientReport // uuid → "url|asn" → report
+	users   map[string]bool                     // registered uuids
+	regByIP map[string][]time.Time              // registration times per source IP
+	updates int
+	revoked map[string]bool
+}
+
+type clientReport struct {
+	url    string
+	asn    int
+	stages []WireStage
+	tm     time.Time
+	tp     time.Time
+}
+
+// NewServer creates a server. A nil verifier selects DefaultCaptcha.
+func NewServer(clock *vtime.Clock, captcha CaptchaVerifier) *Server {
+	if captcha == nil {
+		captcha = DefaultCaptcha
+	}
+	return &Server{
+		clock:   clock,
+		captcha: captcha,
+		clients: make(map[string]map[string]*clientReport),
+		users:   make(map[string]bool),
+		regByIP: make(map[string][]time.Time),
+		revoked: make(map[string]bool),
+	}
+}
+
+// Attach starts serving the API on host:port over plain HTTP.
+func (s *Server) Attach(host *netem.Host, port int) error {
+	l, err := host.Listen(port)
+	if err != nil {
+		return err
+	}
+	httpx.Serve(l, s.Handler())
+	return nil
+}
+
+// Handler returns the API as an httpx.Handler so it can also be mounted
+// behind pseudo-TLS or a fronting CDN (§5: blocking access to the
+// global_DB is countered by moving it).
+func (s *Server) Handler() httpx.Handler {
+	return httpx.HandlerFunc(func(req *httpx.Request, flow netem.Flow) *httpx.Response {
+		path := req.Target
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		switch {
+		case req.Method == "POST" && path == PathRegister:
+			return s.handleRegister(req, flow)
+		case req.Method == "POST" && path == PathReport:
+			return s.handleReport(req)
+		case req.Method == "GET" && path == PathFetch:
+			return s.handleFetch(req)
+		case req.Method == "GET" && path == PathStats:
+			return jsonResponse(200, s.StatsSnapshot())
+		default:
+			return httpx.NewResponse(404, []byte("unknown endpoint"))
+		}
+	})
+}
+
+func jsonResponse(code int, v any) *httpx.Response {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return httpx.NewResponse(500, []byte(err.Error()))
+	}
+	resp := httpx.NewResponse(code, b)
+	resp.Header.Set("Content-Type", "application/json")
+	return resp
+}
+
+func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Response {
+	if !s.captcha(req.Header.Get(CaptchaHeader)) {
+		return httpx.NewResponse(403, []byte("captcha failed"))
+	}
+	srcIP := flow.Src.IP
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Rate-limit registrations per source IP (sliding hour). The IP is used
+	// only for this in-memory counter and never stored with measurements.
+	recent := s.regByIP[srcIP][:0]
+	for _, t := range s.regByIP[srcIP] {
+		if now.Sub(t) < time.Hour {
+			recent = append(recent, t)
+		}
+	}
+	if len(recent) >= RegistrationRateLimit {
+		s.regByIP[srcIP] = recent
+		return httpx.NewResponse(429, []byte("registration rate limit"))
+	}
+	s.regByIP[srcIP] = append(recent, now)
+
+	// UUID: a cryptographic-hash-of-time identifier (§4.2). FNV suffices
+	// for the simulation; the property used is uniqueness, not secrecy.
+	s.uuidSeq++
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d", now.UnixNano(), s.uuidSeq)
+	uuid := fmt.Sprintf("%016x", h.Sum64())
+	s.users[uuid] = true
+	return jsonResponse(200, RegisterResponse{UUID: uuid})
+}
+
+func (s *Server) handleReport(req *httpx.Request) *httpx.Response {
+	var body ReportRequest
+	if err := json.Unmarshal(req.Body, &body); err != nil {
+		return httpx.NewResponse(400, []byte("bad json"))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.users[body.UUID] || s.revoked[body.UUID] {
+		return httpx.NewResponse(403, []byte("unknown or revoked uuid"))
+	}
+	reports := s.clients[body.UUID]
+	if reports == nil {
+		reports = make(map[string]*clientReport)
+		s.clients[body.UUID] = reports
+	}
+	now := s.clock.Now()
+	accepted := 0
+	for _, r := range body.Reports {
+		if r.URL == "" || r.ASN == 0 {
+			continue
+		}
+		key := r.URL + "|" + strconv.Itoa(r.ASN)
+		reports[key] = &clientReport{url: r.URL, asn: r.ASN, stages: r.Stages, tm: r.Tm, tp: now}
+		accepted++
+		s.updates++
+	}
+	return jsonResponse(200, ReportResponse{Accepted: accepted})
+}
+
+func (s *Server) handleFetch(req *httpx.Request) *httpx.Response {
+	asn := 0
+	if i := strings.Index(req.Target, "asn="); i >= 0 {
+		v := req.Target[i+4:]
+		if j := strings.IndexByte(v, '&'); j >= 0 {
+			v = v[:j]
+		}
+		asn, _ = strconv.Atoi(v)
+	}
+	if asn == 0 {
+		return httpx.NewResponse(400, []byte("missing asn"))
+	}
+	return jsonResponse(200, FetchResponse{ASN: asn, Entries: s.BlockedForAS(asn)})
+}
+
+// BlockedForAS aggregates the blocked-URL entries for an AS with voting
+// statistics: s_jk = Σ 1/d_i over clients i reporting (j,k), n_jk = count.
+func (s *Server) BlockedForAS(asn int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := make(map[string]*Entry)
+	for uuid, reports := range s.clients {
+		if s.revoked[uuid] {
+			continue
+		}
+		d := len(reports)
+		if d == 0 {
+			continue
+		}
+		vote := 1.0 / float64(d)
+		for _, r := range reports {
+			if r.asn != asn {
+				continue
+			}
+			e := agg[r.url]
+			if e == nil {
+				e = &Entry{URL: r.url, ASN: asn, Stages: r.stages}
+				agg[r.url] = e
+			}
+			e.Votes += vote
+			e.Reporters++
+			if r.tp.After(e.LastTp) {
+				e.LastTp = r.tp
+				e.Stages = r.stages
+			}
+		}
+	}
+	out := make([]Entry, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].URL < es[j-1].URL; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Revoke invalidates a UUID (§5: revoking identified malicious users [54]).
+func (s *Server) Revoke(uuid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revoked[uuid] = true
+}
+
+// StatsSnapshot aggregates the Table-7 numbers from current state.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Users:  len(s.users),
+		ByType: make(map[string]int),
+	}
+	urls := make(map[string]bool)
+	domains := make(map[string]bool)
+	ases := make(map[int]bool)
+	types := make(map[string]bool)
+	urlType := make(map[string]string)
+	for uuid, reports := range s.clients {
+		if s.revoked[uuid] {
+			continue
+		}
+		for _, r := range reports {
+			urls[r.url] = true
+			host, _ := localdb.SplitURL(r.url)
+			domains[host] = true
+			ases[r.asn] = true
+			primary := "unknown"
+			if len(r.stages) > 0 {
+				primary = localdb.BlockType(r.stages[0].Type).String()
+				if r.stages[0].Detail != "" {
+					primary = primary + ":" + r.stages[0].Detail
+				}
+			}
+			types[primaryClass(r.stages)] = true
+			urlType[r.url] = primaryClass(r.stages)
+			_ = primary
+		}
+	}
+	for _, cls := range urlType {
+		st.ByType[cls]++
+	}
+	st.BlockedURLs = len(urls)
+	st.BlockedDomains = len(domains)
+	st.ASes = len(ases)
+	st.BlockTypes = len(types)
+	st.Updates = s.updates
+	return st
+}
+
+// primaryClass maps stage lists to the Table-7 reporting classes. DNS
+// evidence anywhere in the stages classifies the URL as DNS blocking —
+// a block page reached through a DNS redirect is still DNS censorship.
+func primaryClass(stages []WireStage) string {
+	if len(stages) == 0 {
+		return "unknown"
+	}
+	for _, s := range stages {
+		if localdb.BlockType(s.Type) == localdb.BlockDNS {
+			return "dns"
+		}
+	}
+	first := localdb.BlockType(stages[0].Type)
+	switch first {
+	case localdb.BlockDNS:
+		return "dns"
+	case localdb.BlockTCPTimeout, localdb.BlockIP:
+		return "tcp-timeout"
+	case localdb.BlockHTTP:
+		switch stages[0].Detail {
+		case "blockpage", "blockpage-redirect":
+			return "blockpage"
+		case "rst":
+			return "rst"
+		default:
+			return "http-no-response"
+		}
+	case localdb.BlockSNI:
+		return "sni"
+	default:
+		return first.String()
+	}
+}

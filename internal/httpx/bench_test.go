@@ -1,0 +1,38 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// BenchmarkWriteRequest measures request serialization.
+func BenchmarkWriteRequest(b *testing.B) {
+	req := NewRequest("GET", "www.youtube.com", "/watch?v=abc")
+	req.Header.Set("User-Agent", "csaw/1.0")
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteRequest(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadResponse measures response parsing including a 4KB body.
+func BenchmarkReadResponse(b *testing.B) {
+	resp := NewResponse(200, make([]byte, 4096))
+	resp.Header.Set("Content-Type", "text/html")
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadResponse(bufio.NewReader(bytes.NewReader(raw))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := NewRequest("GET", "www.youtube.com", "/watch?v=abc")
+	req.Header.Set("User-Agent", "csaw/1.0")
+	req.Header.Add("Accept", "text/html")
+	req.Header.Add("Accept", "image/png")
+
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Target != "/watch?v=abc" || got.Host != "www.youtube.com" {
+		t.Fatalf("parsed %+v", got)
+	}
+	if len(got.Header["Accept"]) != 2 {
+		t.Fatalf("Accept = %v", got.Header["Accept"])
+	}
+	if got.URL() != "www.youtube.com/watch?v=abc" {
+		t.Fatalf("URL() = %q", got.URL())
+	}
+}
+
+func TestRequestWithBody(t *testing.T) {
+	req := NewRequest("POST", "api.example.com", "/submit")
+	req.Body = []byte(`{"vote":1}`)
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body) != `{"vote":1}` {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := NewResponse(302, []byte("<html>moved</html>"))
+	resp.Header.Set("Location", "http://block.isp.pk/blocked.html")
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StatusCode != 302 || got.Header.Get("Location") != "http://block.isp.pk/blocked.html" {
+		t.Fatalf("parsed %+v", got)
+	}
+	if string(got.Body) != "<html>moved</html>" {
+		t.Fatalf("body = %q", got.Body)
+	}
+}
+
+func TestHeaderCanonicalization(t *testing.T) {
+	h := Header{}
+	h.Set("content-length", "5")
+	if h.Get("Content-Length") != "5" {
+		t.Fatal("case-insensitive get failed")
+	}
+	h.Del("CONTENT-LENGTH")
+	if h.Get("content-length") != "" {
+		t.Fatal("delete failed")
+	}
+	if CanonicalKey("x-forwarded-for") != "X-Forwarded-For" {
+		t.Fatal("canonical key wrong")
+	}
+}
+
+func TestMalformedRejected(t *testing.T) {
+	cases := []string{
+		"GARBAGE\r\n\r\n",
+		"GET /\r\n\r\n",                         // missing proto
+		"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", // bad header
+		"HTTP/1.1 abc OK\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadRequest(bufio.NewReader(strings.NewReader(c))); err == nil {
+			if _, err2 := ReadResponse(bufio.NewReader(strings.NewReader(c))); err2 == nil {
+				t.Errorf("input %q accepted by both parsers", c)
+			}
+		}
+	}
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader("HTTP/1.1 abc OK\r\n\r\n"))); err == nil {
+		t.Error("bad status code accepted")
+	}
+}
+
+func TestBodyLengthLimits(t *testing.T) {
+	raw := "HTTP/1.1 200 OK\r\nContent-Length: 99999999999\r\n\r\n"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Error("oversized content-length accepted")
+	}
+	raw = "HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Error("negative content-length accepted")
+	}
+	raw = "HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort"
+	if _, err := ReadResponse(bufio.NewReader(strings.NewReader(raw))); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if StatusText(200) != "OK" || StatusText(302) != "Found" || StatusText(418) != "Status 418" {
+		t.Fatal("status text wrong")
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	// Property: headers with token keys and printable values survive a
+	// request round trip.
+	clean := func(s string, allowDash bool) string {
+		var b strings.Builder
+		for _, c := range s {
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || (allowDash && c == '-') {
+				b.WriteRune(c)
+			}
+		}
+		if b.Len() == 0 {
+			return "X"
+		}
+		return b.String()
+	}
+	f := func(key, val string) bool {
+		k := clean(key, true)
+		v := clean(val, false)
+		req := NewRequest("GET", "h.example", "/")
+		req.Header.Set(k, v)
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			return false
+		}
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return got.Header.Get(k) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReadNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = ReadRequest(bufio.NewReader(bytes.NewReader(b)))
+		_, _ = ReadResponse(bufio.NewReader(bytes.NewReader(b)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// httpWorld builds a client and a server host with a test handler.
+func httpWorld(t *testing.T, h Handler) (*netem.Network, *Client, *Server) {
+	t.Helper()
+	clock := vtime.New(500)
+	n := netem.New(clock, netem.WithSeed(3), netem.WithJitter(0))
+	as := n.AddAS(1, "ISP", "PK")
+	us := n.AddAS(2, "US", "US")
+	ch := n.MustAddHost("client", "10.0.0.1", "pk", as)
+	sh := n.MustAddHost("server", "93.184.216.34", "us", us)
+	n.SetRTT("pk", "us", 100*time.Millisecond)
+	srv := Serve(sh.MustListen(80), h)
+	client := &Client{Dial: ch.Dial, Clock: clock}
+	return n, client, srv
+}
+
+func TestClientServerExchange(t *testing.T) {
+	_, client, srv := httpWorld(t, HandlerFunc(func(req *Request, _ netem.Flow) *Response {
+		if req.Target == "/hello" {
+			return NewResponse(200, []byte("world "+req.Host))
+		}
+		return NewResponse(404, nil)
+	}))
+	defer srv.Close()
+	resp, err := client.Get(context.Background(), "93.184.216.34:80", "example.com", "/hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || string(resp.Body) != "world example.com" {
+		t.Fatalf("resp = %d %q", resp.StatusCode, resp.Body)
+	}
+}
+
+func TestClientTimeoutOnSilentServer(t *testing.T) {
+	n, client, srv := httpWorld(t, HandlerFunc(func(*Request, netem.Flow) *Response { return nil }))
+	defer srv.Close()
+	client.Timeout = 2 * time.Second
+	start := n.Clock().Now()
+	_, err := client.Get(context.Background(), "93.184.216.34:80", "example.com", "/")
+	if err == nil {
+		t.Fatal("request to silent server succeeded")
+	}
+	if el := n.Clock().Since(start); el < 1500*time.Millisecond || el > 10*time.Second {
+		t.Errorf("timeout after %v, want ~2s", el)
+	}
+}
+
+func TestServerFlowVisible(t *testing.T) {
+	var gotAS int
+	_, client, srv := httpWorld(t, HandlerFunc(func(_ *Request, flow netem.Flow) *Response {
+		if flow.EgressAS != nil {
+			gotAS = flow.EgressAS.Number
+		}
+		return NewResponse(204, nil)
+	}))
+	defer srv.Close()
+	if _, err := client.Get(context.Background(), "93.184.216.34:80", "x", "/"); err != nil {
+		t.Fatal(err)
+	}
+	if gotAS != 1 {
+		t.Fatalf("server saw egress AS %d, want 1", gotAS)
+	}
+}
+
+func TestMuxRouting(t *testing.T) {
+	mux := NewMux()
+	mux.Handle("a.example", "/", HandlerFunc(func(*Request, netem.Flow) *Response {
+		return NewResponse(200, []byte("site-a"))
+	}))
+	mux.Handle("a.example", "/deep/", HandlerFunc(func(*Request, netem.Flow) *Response {
+		return NewResponse(200, []byte("deep"))
+	}))
+	mux.Handle("", "/", HandlerFunc(func(*Request, netem.Flow) *Response {
+		return NewResponse(200, []byte("fallback"))
+	}))
+
+	cases := []struct{ host, path, want string }{
+		{"a.example", "/", "site-a"},
+		{"A.EXAMPLE:80", "/x", "site-a"},
+		{"a.example", "/deep/page", "deep"},
+		{"other.example", "/", "fallback"},
+	}
+	for _, c := range cases {
+		resp := mux.ServeHTTP(NewRequest("GET", c.host, c.path), netem.Flow{})
+		if string(resp.Body) != c.want {
+			t.Errorf("%s%s → %q, want %q", c.host, c.path, resp.Body, c.want)
+		}
+	}
+}
+
+func TestMuxUnknownHost404(t *testing.T) {
+	mux := NewMux()
+	mux.Handle("a.example", "/", HandlerFunc(func(*Request, netem.Flow) *Response {
+		return NewResponse(200, nil)
+	}))
+	if resp := mux.ServeHTTP(NewRequest("GET", "b.example", "/"), netem.Flow{}); resp.StatusCode != 404 {
+		t.Fatalf("unknown host → %d, want 404", resp.StatusCode)
+	}
+}

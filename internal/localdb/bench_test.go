@@ -1,0 +1,31 @@
+package localdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"csaw/internal/vtime"
+)
+
+// BenchmarkPutAggregated measures writes with §4.4 aggregation active.
+func BenchmarkPutAggregated(b *testing.B) {
+	db := New(vtime.New(1000), time.Hour, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Put(fmt.Sprintf("site%d.example/p%d", i%50, i%7), 1, NotBlocked, nil)
+	}
+}
+
+// BenchmarkLookupLongestPrefix measures the read path with prefix matching.
+func BenchmarkLookupLongestPrefix(b *testing.B) {
+	db := New(vtime.New(1000), time.Hour, true)
+	for i := 0; i < 50; i++ {
+		db.Put(fmt.Sprintf("site%d.example/banned/p", i), 1, Blocked, []Stage{{Type: BlockHTTP}})
+		db.Put(fmt.Sprintf("site%d.example/", i), 1, NotBlocked, nil)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = db.Lookup(fmt.Sprintf("site%d.example/banned/p/deep.html", i%50))
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	d := NewDistribution()
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if m := d.Median(); math.Abs(m-50.5) > 0.01 {
+		t.Errorf("median = %f", m)
+	}
+	if p := d.Percentile(0); p != 1 {
+		t.Errorf("p0 = %f", p)
+	}
+	if p := d.Percentile(100); p != 100 {
+		t.Errorf("p100 = %f", p)
+	}
+	if p := d.Percentile(95); math.Abs(p-95.05) > 0.01 {
+		t.Errorf("p95 = %f", p)
+	}
+	if mean := d.Mean(); math.Abs(mean-50.5) > 0.01 {
+		t.Errorf("mean = %f", mean)
+	}
+	if d.Min() != 1 || d.Max() != 100 || d.N() != 100 {
+		t.Error("min/max/n wrong")
+	}
+}
+
+func TestEmptyDistribution(t *testing.T) {
+	d := NewDistribution()
+	if !math.IsNaN(d.Median()) || !math.IsNaN(d.Mean()) || !math.IsNaN(d.Min()) || !math.IsNaN(d.Max()) {
+		t.Error("empty distribution should be NaN everywhere")
+	}
+	if len(d.CDF()) != 0 {
+		t.Error("empty CDF should have no points")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	d := NewDistribution()
+	d.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if d.Percentile(p) != 7 {
+			t.Errorf("p%f = %f", p, d.Percentile(p))
+		}
+	}
+}
+
+func TestFromDurations(t *testing.T) {
+	d := FromDurations([]time.Duration{time.Second, 3 * time.Second})
+	if m := d.Mean(); math.Abs(m-2) > 1e-9 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	d := NewDistribution()
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	cdf := d.CDF()
+	if len(cdf) != 5 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].Y <= cdf[i-1].Y {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	if cdf[len(cdf)-1].Y != 1.0 {
+		t.Error("CDF does not reach 1")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("unobserved EWMA reports a value")
+	}
+	e.Observe(10)
+	if v, _ := e.Value(); v != 10 {
+		t.Fatalf("first observation = %f", v)
+	}
+	e.Observe(20)
+	if v, _ := e.Value(); math.Abs(v-15) > 1e-9 {
+		t.Fatalf("after 20 = %f, want 15", v)
+	}
+	e.ObserveDuration(5 * time.Second)
+	if v, _ := e.Value(); math.Abs(v-10) > 1e-9 {
+		t.Fatalf("after 5s = %f, want 10", v)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "Table X", Headers: []string{"col", "value"}}
+	tbl.AddRow("a", "1")
+	tbl.AddRow("long-name", "2")
+	s := tbl.String()
+	if !strings.Contains(s, "Table X") || !strings.Contains(s, "long-name") {
+		t.Fatalf("render = %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestSummarizeCDFs(t *testing.T) {
+	a := FromDurations([]time.Duration{time.Second, 2 * time.Second})
+	s := SummarizeCDFs("Figure N", []Series{{Name: "direct", Dist: a}, {Name: "empty", Dist: NewDistribution()}})
+	if !strings.Contains(s, "direct") || !strings.Contains(s, "1.50s") || !strings.Contains(s, "-") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+// TestQuickPercentileBounds property-tests: percentiles are within [min,
+// max] and monotone in p.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewDistribution()
+		for _, v := range vals {
+			d.Add(v)
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			q := d.Percentile(p)
+			if q < vals[0] || q > vals[len(vals)-1] {
+				return false
+			}
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"time"
+
+	"sync"
+
+	"csaw/internal/vtime"
+)
+
+// Addr is a net.Addr for emulated endpoints.
+type Addr struct {
+	IP   string
+	Port int
+}
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return "netem" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return a.IP + ":" + itoa(a.Port) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// segment is a chunk of bytes in flight, deliverable at a real instant.
+type segment struct {
+	data []byte
+	due  time.Time // real time at which the receiver may read it
+}
+
+// pipe is one direction of an emulated connection: a FIFO of segments with
+// propagation latency, serialization (bandwidth) delay, optional loss-induced
+// retransmission delay, and a byte cap providing backpressure.
+type pipe struct {
+	net   *Network
+	clock *vtime.Clock
+	lat   time.Duration // virtual one-way propagation latency
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	segs    []segment
+	unread  int
+	cap     int
+	lastDue time.Time // real due time of last queued segment
+	closed  bool      // EOF once drained
+	reset   bool      // error immediately
+	rdl     time.Time // real read deadline (zero = none)
+	wdl     time.Time // real write deadline
+}
+
+const defaultPipeCap = 1 << 18 // 256 KiB in flight
+
+func newPipe(n *Network, lat time.Duration) *pipe {
+	p := &pipe{net: n, clock: n.clock, lat: lat, cap: defaultPipeCap}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// waitUntil blocks on the pipe's cond until shortly before the real instant
+// t (or a state change); callers re-check and spin the precise tail. Caller
+// must hold p.mu.
+func (p *pipe) waitUntil(t time.Time) {
+	d := time.Until(t) - vtime.CoarseSleep
+	if d < 0 {
+		d = 0
+	}
+	stop := time.AfterFunc(d, p.cond.Broadcast)
+	p.cond.Wait()
+	stop.Stop()
+}
+
+func (p *pipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.reset {
+			return 0, ErrReset
+		}
+		if p.closed {
+			return 0, ErrClosed
+		}
+		if !p.wdl.IsZero() && !time.Now().Before(p.wdl) {
+			return 0, ErrTimeout
+		}
+		if p.unread < p.cap {
+			break
+		}
+		if p.wdl.IsZero() {
+			p.cond.Wait()
+		} else {
+			p.waitUntil(p.wdl)
+		}
+	}
+	// Compute delivery time: first byte pays propagation once; subsequent
+	// segments are serialized behind the previous segment at link bandwidth.
+	now := time.Now()
+	lat := p.lat + p.net.jitter(p.lat)
+	if p.net.lose() {
+		lat += p.net.lossRTO
+	}
+	xfer := time.Duration(float64(len(b)) / p.net.bandwidth * float64(time.Second))
+	due := now.Add(p.clock.Real(lat))
+	if p.lastDue.After(due) {
+		due = p.lastDue
+	}
+	due = due.Add(p.clock.Real(xfer))
+	p.lastDue = due
+
+	data := make([]byte, len(b))
+	copy(data, b)
+	p.segs = append(p.segs, segment{data: data, due: due})
+	p.unread += len(data)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+func (p *pipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.reset {
+			return 0, ErrReset
+		}
+		if !p.rdl.IsZero() && !time.Now().Before(p.rdl) {
+			return 0, ErrTimeout
+		}
+		if len(p.segs) > 0 {
+			s := &p.segs[0]
+			now := time.Now()
+			if now.Before(s.due) {
+				// Data in flight: wait for delivery or deadline. Near-due
+				// segments are spin-waited for sub-millisecond delivery
+				// accuracy (see vtime.CoarseSleep).
+				until := s.due
+				if !p.rdl.IsZero() && p.rdl.Before(until) {
+					until = p.rdl
+				}
+				if until.Sub(now) <= vtime.CoarseSleep {
+					due := until
+					p.mu.Unlock()
+					vtime.SpinUntil(due)
+					p.mu.Lock()
+					continue
+				}
+				p.waitUntil(until)
+				continue
+			}
+			n := copy(b, s.data)
+			s.data = s.data[n:]
+			p.unread -= n
+			if len(s.data) == 0 {
+				p.segs = p.segs[1:]
+			}
+			p.cond.Broadcast() // wake writers blocked on backpressure
+			return n, nil
+		}
+		if p.closed {
+			return 0, io.EOF
+		}
+		if p.rdl.IsZero() {
+			p.cond.Wait()
+		} else {
+			p.waitUntil(p.rdl)
+		}
+	}
+}
+
+// close marks the pipe for EOF after the queued data drains.
+func (p *pipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// doReset tears the pipe down: queued data is lost and both ends error.
+func (p *pipe) doReset() {
+	p.mu.Lock()
+	p.reset = true
+	p.segs = nil
+	p.unread = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.rdl = t
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	p.wdl = t
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Conn is an emulated, full-duplex, latency- and bandwidth-modelled
+// connection implementing net.Conn. Deadlines passed to SetDeadline and
+// friends are interpreted as *virtual* timestamps from the network's clock.
+type Conn struct {
+	rx, tx *pipe
+	local  Addr
+	remote Addr
+	flow   Flow
+	clock  *vtime.Clock
+	once   sync.Once
+}
+
+// connPair builds two connected Conns. lat is the virtual one-way latency of
+// the segment between them.
+func connPair(n *Network, lat time.Duration, a, b Addr, flow Flow) (*Conn, *Conn) {
+	ab := newPipe(n, lat)
+	ba := newPipe(n, lat)
+	ca := &Conn{rx: ba, tx: ab, local: a, remote: b, flow: flow, clock: n.clock}
+	cb := &Conn{rx: ab, tx: ba, local: b, remote: a, flow: flow, clock: n.clock}
+	return ca, cb
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.rx.read(b)
+	if err != nil && err != io.EOF {
+		err = &OpError{Op: "read", Addr: c.remote.String(), Err: err}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	n, err := c.tx.write(b)
+	if err != nil {
+		err = &OpError{Op: "write", Addr: c.remote.String(), Err: err}
+	}
+	return n, err
+}
+
+// Close implements net.Conn: the peer sees EOF after draining queued data.
+func (c *Conn) Close() error {
+	c.once.Do(func() {
+		c.tx.close()
+		c.rx.close()
+	})
+	return nil
+}
+
+// Reset tears the connection down abruptly: both ends observe ErrReset and
+// queued data is discarded. This is the censor's (or server's) RST.
+func (c *Conn) Reset() {
+	c.tx.doReset()
+	c.rx.doReset()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// Flow returns the connection's flow metadata (source, destination, and the
+// AS the connection egressed through), visible to servers the way a real
+// server sees the client address.
+func (c *Conn) Flow() Flow { return c.flow }
+
+// SetDeadline implements net.Conn; t is a virtual timestamp.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t)
+	c.SetWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn; t is a virtual timestamp.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if t.IsZero() {
+		c.rx.setReadDeadline(time.Time{})
+	} else {
+		c.rx.setReadDeadline(c.clock.Deadline(t))
+	}
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn; t is a virtual timestamp.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if t.IsZero() {
+		c.tx.setWriteDeadline(time.Time{})
+	} else {
+		c.tx.setWriteDeadline(c.clock.Deadline(t))
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DialFunc is the dialing contract the rest of the repository programs
+// against: direct host dialing, Tor circuits, Lantern tunnels, and static
+// proxies all provide one, so the C-Saw circumvention module can treat every
+// path uniformly.
+type DialFunc func(ctx context.Context, address string) (net.Conn, error)
+
+// SplitAddr parses "ip:port".
+func SplitAddr(address string) (ip string, port int, err error) {
+	i := strings.LastIndexByte(address, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("netem: address %q missing port", address)
+	}
+	port, err = strconv.Atoi(address[i+1:])
+	if err != nil || port <= 0 || port > 65535 {
+		return "", 0, fmt.Errorf("netem: bad port in %q", address)
+	}
+	return address[:i], port, nil
+}
+
+// Dial opens a connection from the host to "ip:port", emulating the TCP
+// handshake (one RTT plus jitter) and consulting the egress AS's
+// interceptor. Context cancellation bounds the whole attempt; a blackholed
+// SYN blocks until the context ends and surfaces as a timeout, matching how
+// real clients experience IP blocking.
+func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
+	ip, port, err := SplitAddr(address)
+	if err != nil {
+		return nil, err
+	}
+	n := h.net
+	egress := h.egressAS()
+	srcAddr := Addr{IP: h.ip, Port: n.ephemeralPort()}
+	dstAddr := Addr{IP: ip, Port: port}
+	flow := Flow{Src: srcAddr, Dst: dstAddr, SrcName: h.name, EgressAS: egress}
+
+	dst := n.HostByIP(ip)
+	if dst != nil {
+		flow.DstName = dst.name
+	}
+
+	ic := egress.Interceptor()
+	if ic != nil {
+		switch ic.FilterConnect(flow) {
+		case VerdictDrop:
+			// SYN blackholed: nothing ever comes back.
+			<-ctx.Done()
+			return nil, h.dialErr(address, ctx)
+		case VerdictReset:
+			// RST injected from near the edge: fast failure.
+			if err := n.clock.SleepCtx(ctx, n.RTT(h.loc, "")/4); err != nil {
+				return nil, h.dialErr(address, ctx)
+			}
+			return nil, &OpError{Op: "dial", Addr: address, Err: ErrReset}
+		}
+	}
+
+	if dst == nil {
+		// Routed into the void; the handshake never completes.
+		<-ctx.Done()
+		return nil, h.dialErr(address, ctx)
+	}
+
+	rtt := n.RTT(h.loc, dst.loc)
+	if err := n.clock.SleepCtx(ctx, rtt+n.jitter(rtt)); err != nil {
+		return nil, h.dialErr(address, ctx)
+	}
+
+	lst := dst.listener(port)
+	if lst == nil {
+		return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
+	}
+
+	oneWay := rtt / 2
+	if ic != nil && ic.WantStream(flow) {
+		// Place the interceptor near the client's edge: a short client
+		// segment and the remainder of the path to the server.
+		edge := oneWay / 8
+		if edge > 5*time.Millisecond {
+			edge = 5 * time.Millisecond
+		}
+		censorAddr := Addr{IP: "censor." + itoa(egress.Number), Port: dstAddr.Port}
+		clientConn, censorClient := connPair(n, edge, srcAddr, dstAddr, flow)
+		censorServer, serverConn := connPair(n, oneWay-edge, censorAddr, dstAddr, flow)
+		sess := &Session{flow: flow, client: censorClient, server: censorServer}
+		go ic.HandleStream(flow, sess)
+		if err := lst.deliver(serverConn); err != nil {
+			clientConn.Close()
+			censorClient.Close()
+			censorServer.Close()
+			return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
+		}
+		return clientConn, nil
+	}
+
+	clientConn, serverConn := connPair(n, oneWay, srcAddr, dstAddr, flow)
+	if err := lst.deliver(serverConn); err != nil {
+		clientConn.Close()
+		return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
+	}
+	return clientConn, nil
+}
+
+// dialErr maps a context ending during dial to the right error: deadline
+// expiry looks like a TCP connect timeout, explicit cancellation propagates.
+func (h *Host) dialErr(address string, ctx context.Context) error {
+	if ctx.Err() == context.Canceled {
+		return &OpError{Op: "dial", Addr: address, Err: context.Canceled}
+	}
+	return &OpError{Op: "dial", Addr: address, Err: ErrTimeout}
+}
+
+// DialTimeout dials with a virtual timeout.
+func (h *Host) DialTimeout(address string, timeout time.Duration) (net.Conn, error) {
+	ctx, cancel := h.net.clock.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return h.Dial(ctx, address)
+}
+
+// Dialer returns the host's DialFunc.
+func (h *Host) Dialer() DialFunc { return h.Dial }
+
+// Listener accepts emulated connections on a host port.
+type Listener struct {
+	host *Host
+	port int
+	ch   chan *Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// Listen starts accepting connections on the given port.
+func (h *Host) Listen(port int) (*Listener, error) {
+	if port <= 0 || port > 65535 {
+		return nil, fmt.Errorf("netem: bad listen port %d", port)
+	}
+	h.lmu.Lock()
+	defer h.lmu.Unlock()
+	if _, taken := h.listeners[port]; taken {
+		return nil, fmt.Errorf("netem: %s port %d already in use", h.name, port)
+	}
+	l := &Listener{host: h, port: port, ch: make(chan *Conn, 128), done: make(chan struct{})}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// MustListen is Listen that panics on error, for world construction code.
+func (h *Host) MustListen(port int) *Listener {
+	l, err := h.Listen(port)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// listener returns the active listener for port, or nil.
+func (h *Host) listener(port int) *Listener {
+	h.lmu.Lock()
+	defer h.lmu.Unlock()
+	return h.listeners[port]
+}
+
+// deliver hands a newly established server-side conn to the accept queue.
+func (l *Listener) deliver(c *Conn) error {
+	select {
+	case <-l.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case l.ch <- c:
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, &OpError{Op: "accept", Addr: l.Addr().String(), Err: ErrClosed}
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.host.lmu.Lock()
+	if l.host.listeners[l.port] == l {
+		delete(l.host.listeners, l.port)
+	}
+	l.host.lmu.Unlock()
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return Addr{IP: l.host.ip, Port: l.port} }

@@ -1,0 +1,307 @@
+// Package netem emulates a wide-area network entirely in process.
+//
+// A Network holds hosts (addressed by IPv4-style strings), autonomous
+// systems, and a latency model keyed by location labels. Hosts dial and
+// listen with net.Conn/net.Listener-compatible types whose transfers incur
+// propagation latency, bandwidth-limited serialization delay, jitter, and
+// probabilistic loss (modelled as retransmission delay). Every connection
+// egresses through the client's AS, whose Interceptor — the censor's hook —
+// may pass, blackhole, or reset connections at connect time and may inspect
+// and manipulate established streams (inject block pages, reset mid-flight,
+// or silently discard), exactly the on-path powers §2.1 of the paper grants
+// a censor.
+//
+// All timing is virtual (see internal/vtime), so protocol timeouts of tens
+// of seconds execute in milliseconds during tests and benchmarks.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"csaw/internal/vtime"
+)
+
+// Network is the root of an emulated internet. It is safe for concurrent use.
+type Network struct {
+	clock *vtime.Clock
+
+	mu      sync.RWMutex
+	hosts   map[string]*Host // keyed by IP
+	ases    map[int]*AS
+	rtts    map[locPair]time.Duration
+	baseRTT time.Duration // fallback RTT between distinct locations
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	bandwidth  float64 // virtual bytes per virtual second, per connection
+	lossProb   float64 // probability a segment needs one retransmission
+	lossRTO    time.Duration
+	jitterFrac float64 // max extra one-way delay as a fraction of RTT
+
+	portMu   sync.Mutex
+	nextPort int
+}
+
+type locPair struct{ a, b string }
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithBandwidth sets the per-connection bandwidth in virtual bytes/second.
+func WithBandwidth(bytesPerSec float64) Option {
+	return func(n *Network) { n.bandwidth = bytesPerSec }
+}
+
+// WithLoss sets segment loss probability and the retransmission delay charged
+// per lost segment.
+func WithLoss(prob float64, rto time.Duration) Option {
+	return func(n *Network) { n.lossProb = prob; n.lossRTO = rto }
+}
+
+// WithJitter sets the maximum extra one-way delay as a fraction of path RTT.
+func WithJitter(frac float64) Option {
+	return func(n *Network) { n.jitterFrac = frac }
+}
+
+// WithBaseRTT sets the default RTT between two distinct locations that have
+// no explicit entry in the latency matrix.
+func WithBaseRTT(rtt time.Duration) Option {
+	return func(n *Network) { n.baseRTT = rtt }
+}
+
+// WithSeed seeds the network's random source, making jitter, loss, and
+// multihomed egress selection reproducible.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates an empty Network driven by the given clock.
+func New(clock *vtime.Clock, opts ...Option) *Network {
+	n := &Network{
+		clock:      clock,
+		hosts:      make(map[string]*Host),
+		ases:       make(map[int]*AS),
+		rtts:       make(map[locPair]time.Duration),
+		baseRTT:    120 * time.Millisecond,
+		rng:        rand.New(rand.NewSource(1)),
+		bandwidth:  1 << 20, // 1 MiB/s
+		lossRTO:    200 * time.Millisecond,
+		jitterFrac: 0.05,
+		nextPort:   40000,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Clock returns the clock driving the network.
+func (n *Network) Clock() *vtime.Clock { return n.clock }
+
+// AddAS registers an autonomous system.
+func (n *Network) AddAS(number int, name, country string) *AS {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if as, ok := n.ases[number]; ok {
+		return as
+	}
+	as := &AS{Number: number, Name: name, Country: country, net: n}
+	n.ases[number] = as
+	return as
+}
+
+// AS returns the registered AS with the given number, or nil.
+func (n *Network) AS(number int) *AS {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ases[number]
+}
+
+// AddHost registers a host with one or more ASes (more than one makes the
+// host multihomed: each new connection egresses via a uniformly random AS,
+// the behaviour §4.4 of the paper calls out). The IP must be unique.
+func (n *Network) AddHost(name, ip, loc string, ases ...*AS) (*Host, error) {
+	if len(ases) == 0 {
+		return nil, fmt.Errorf("netem: host %s needs at least one AS", name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[ip]; dup {
+		return nil, fmt.Errorf("netem: duplicate IP %s", ip)
+	}
+	h := &Host{
+		name:      name,
+		ip:        ip,
+		loc:       loc,
+		ases:      append([]*AS(nil), ases...),
+		net:       n,
+		listeners: make(map[int]*Listener),
+	}
+	n.hosts[ip] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost that panics on error, for world construction code.
+func (n *Network) MustAddHost(name, ip, loc string, ases ...*AS) *Host {
+	h, err := n.AddHost(name, ip, loc, ases...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HostByIP returns the host owning ip, or nil.
+func (n *Network) HostByIP(ip string) *Host {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hosts[ip]
+}
+
+// SetRTT sets the round-trip time between two location labels (symmetric).
+func (n *Network) SetRTT(locA, locB string, rtt time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rtts[locPair{locA, locB}] = rtt
+	n.rtts[locPair{locB, locA}] = rtt
+}
+
+// RTT returns the round-trip time between two location labels. Same-location
+// pairs get a small LAN latency; unknown pairs get the base RTT.
+func (n *Network) RTT(locA, locB string) time.Duration {
+	if locA == locB {
+		return 2 * time.Millisecond
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if rtt, ok := n.rtts[locPair{locA, locB}]; ok {
+		return rtt
+	}
+	return n.baseRTT
+}
+
+// Ping measures one application-level round trip from host to the given IP,
+// including jitter, without establishing a connection — the emulator's
+// equivalent of an ICMP echo. It fails if the IP is not routable.
+func (n *Network) Ping(from *Host, ip string) (time.Duration, error) {
+	dst := n.HostByIP(ip)
+	if dst == nil {
+		return 0, &OpError{Op: "ping", Addr: ip, Err: ErrNoRoute}
+	}
+	rtt := n.RTT(from.loc, dst.loc) + n.jitter(n.RTT(from.loc, dst.loc))
+	start := n.clock.Now()
+	n.clock.Sleep(rtt)
+	return n.clock.Since(start), nil
+}
+
+// jitter draws a one-way jitter sample for a path with the given RTT.
+func (n *Network) jitter(rtt time.Duration) time.Duration {
+	if n.jitterFrac <= 0 {
+		return 0
+	}
+	n.rngMu.Lock()
+	f := n.rng.Float64()
+	n.rngMu.Unlock()
+	return time.Duration(f * n.jitterFrac * float64(rtt))
+}
+
+// lose reports whether a segment should be charged a retransmission.
+func (n *Network) lose() bool {
+	if n.lossProb <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	f := n.rng.Float64()
+	n.rngMu.Unlock()
+	return f < n.lossProb
+}
+
+// ephemeralPort allocates a unique client-side port.
+func (n *Network) ephemeralPort() int {
+	n.portMu.Lock()
+	defer n.portMu.Unlock()
+	p := n.nextPort
+	n.nextPort++
+	if n.nextPort > 65000 {
+		n.nextPort = 40000
+	}
+	return p
+}
+
+// pick returns a uniformly random int in [0, n) using the network RNG.
+func (n *Network) pick(m int) int {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Intn(m)
+}
+
+// AS is an autonomous system. Its Interceptor, if set, is the censor
+// attached to the AS's egress.
+type AS struct {
+	Number  int
+	Name    string
+	Country string
+
+	net *Network
+
+	mu          sync.RWMutex
+	interceptor Interceptor
+}
+
+// SetInterceptor installs (or, with nil, removes) the egress interceptor.
+// Policies may be swapped at runtime; in-flight connections keep the
+// interceptor they were established with.
+func (a *AS) SetInterceptor(i Interceptor) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.interceptor = i
+}
+
+// Interceptor returns the currently installed interceptor, or nil.
+func (a *AS) Interceptor() Interceptor {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.interceptor
+}
+
+// Host is an endpoint on the network.
+type Host struct {
+	name string
+	ip   string
+	loc  string
+	ases []*AS
+	net  *Network
+
+	lmu       sync.Mutex
+	listeners map[int]*Listener
+}
+
+// Name returns the host's human-readable name.
+func (h *Host) Name() string { return h.name }
+
+// IP returns the host's address.
+func (h *Host) IP() string { return h.ip }
+
+// Loc returns the host's location label.
+func (h *Host) Loc() string { return h.loc }
+
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Multihomed reports whether the host egresses via more than one AS.
+func (h *Host) Multihomed() bool { return len(h.ases) > 1 }
+
+// ASes returns the host's providers.
+func (h *Host) ASes() []*AS { return append([]*AS(nil), h.ases...) }
+
+// egressAS picks the AS a new connection leaves through: the single provider
+// for singly-homed hosts, a uniformly random one otherwise.
+func (h *Host) egressAS() *AS {
+	if len(h.ases) == 1 {
+		return h.ases[0]
+	}
+	return h.ases[h.net.pick(len(h.ases))]
+}

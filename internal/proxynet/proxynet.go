@@ -1,0 +1,209 @@
+// Package proxynet implements simple CONNECT-style forward proxies: the
+// "static proxies spread throughout the world" that §2.3 compares against
+// (Table 2 lists their ping latencies), and the building block Lantern's
+// HTTPS proxies reuse.
+//
+// Protocol: the client opens a stream and sends one line,
+//
+//	CONNECT <host-or-ip>:<port>\n
+//
+// the proxy resolves and dials the target from *its* vantage point (which is
+// the whole circumvention value: the proxy sits outside the censored
+// region), answers "OK\n" or "ERR <reason>\n", and then splices bytes both
+// ways.
+package proxynet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// Port is the conventional static-proxy port.
+const Port = 3128
+
+// Lookup resolves a hostname to an IP from the proxy's vantage point.
+type Lookup func(ctx context.Context, host string) (string, error)
+
+// IPLookup passes IP literals through and fails everything else; proxies in
+// worlds without DNS use it.
+func IPLookup(_ context.Context, host string) (string, error) {
+	if isIPLiteral(host) {
+		return host, nil
+	}
+	return "", fmt.Errorf("proxynet: cannot resolve %q", host)
+}
+
+func isIPLiteral(s string) bool {
+	dots := 0
+	for _, c := range s {
+		switch {
+		case c == '.':
+			dots++
+		case c < '0' || c > '9':
+			return false
+		}
+	}
+	return dots == 3
+}
+
+// Server is a running CONNECT proxy.
+type Server struct {
+	host    *netem.Host
+	l       *netem.Listener
+	lookup  Lookup
+	clock   *vtime.Clock
+	timeout time.Duration
+}
+
+// Serve starts a CONNECT proxy on host:port. The lookup resolves names for
+// clients that tunnel by hostname; nil means IP literals only.
+func Serve(host *netem.Host, port int, lookup Lookup) (*Server, error) {
+	if lookup == nil {
+		lookup = IPLookup
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{host: host, l: l, lookup: lookup, clock: host.Network().Clock(), timeout: 30 * time.Second}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the proxy's dial address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops the proxy.
+func (s *Server) Close() error { return s.l.Close() }
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return
+	}
+	target, ok := strings.CutPrefix(strings.TrimSpace(line), "CONNECT ")
+	if !ok {
+		fmt.Fprintf(conn, "ERR bad request\n")
+		conn.Close()
+		return
+	}
+	host, port, err := netem.SplitAddr(target)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR bad target\n")
+		conn.Close()
+		return
+	}
+	ctx, cancel := s.clock.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	ip := host
+	if !isIPLiteral(host) {
+		ip, err = s.lookup(ctx, host)
+		if err != nil {
+			fmt.Fprintf(conn, "ERR resolve: %v\n", err)
+			conn.Close()
+			return
+		}
+	}
+	upstream, err := s.host.Dial(ctx, fmt.Sprintf("%s:%d", ip, port))
+	if err != nil {
+		fmt.Fprintf(conn, "ERR dial: %v\n", err)
+		conn.Close()
+		return
+	}
+	if _, err := io.WriteString(conn, "OK\n"); err != nil {
+		conn.Close()
+		upstream.Close()
+		return
+	}
+	Splice(conn, br, upstream)
+}
+
+// Splice copies a↔b until both directions end, sourcing the a→b direction
+// from ar (which may hold buffered bytes). Resets propagate.
+func Splice(a net.Conn, ar io.Reader, b net.Conn) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := io.Copy(b, ar)
+		if err != nil && netem.IsReset(err) {
+			if nc, ok := b.(*netem.Conn); ok {
+				nc.Reset()
+				return
+			}
+		}
+		b.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := io.Copy(a, b)
+		if err != nil && netem.IsReset(err) {
+			if nc, ok := a.(*netem.Conn); ok {
+				nc.Reset()
+				return
+			}
+		}
+		a.Close()
+	}()
+	wg.Wait()
+}
+
+// Via returns a DialFunc that tunnels every connection through the proxy at
+// proxyAddr. The returned conns behave like direct conns to the target.
+func Via(base netem.DialFunc, clock *vtime.Clock, proxyAddr string) netem.DialFunc {
+	return func(ctx context.Context, address string) (net.Conn, error) {
+		conn, err := base(ctx, proxyAddr)
+		if err != nil {
+			return nil, err
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			_ = conn.SetDeadline(clock.Now().Add(clock.Virtual(time.Until(dl))))
+		}
+		if _, err := fmt.Fprintf(conn, "CONNECT %s\n", address); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		br := bufio.NewReader(conn)
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("proxynet: tunnel to %s: %w", address, err)
+		}
+		line = strings.TrimSpace(line)
+		if line != "OK" {
+			conn.Close()
+			return nil, fmt.Errorf("proxynet: tunnel to %s refused: %s", address, line)
+		}
+		_ = conn.SetDeadline(time.Time{})
+		return &tunnelConn{Conn: conn, br: br}, nil
+	}
+}
+
+// tunnelConn reads through the handshake bufio.Reader so no bytes are lost.
+type tunnelConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (c *tunnelConn) Read(b []byte) (int, error) { return c.br.Read(b) }

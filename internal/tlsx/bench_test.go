@@ -1,0 +1,27 @@
+package tlsx
+
+import "testing"
+
+// BenchmarkKeystream measures payload obscuring throughput (per 4KB).
+func BenchmarkKeystream(b *testing.B) {
+	ks := newKeystream(randomFrom("c"), randomFrom("s"), "c2s")
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		ks.xor(buf)
+	}
+}
+
+// BenchmarkSniffClientHello measures the censor's per-connection peek.
+func BenchmarkSniffClientHello(b *testing.B) {
+	hello, err := marshalHello(typeClientHello, "www.youtube.com", randomFrom("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := SniffClientHello(hello); !ok {
+			b.Fatal("sniff failed")
+		}
+	}
+}

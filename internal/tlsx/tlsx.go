@@ -1,0 +1,292 @@
+// Package tlsx is a pseudo-TLS layer for the emulated internet.
+//
+// What the paper's censors act on is TLS's *observable surface*: the Server
+// Name Indication travels in cleartext in the ClientHello, while the HTTP
+// Host header and payload are encrypted (§2.1, §2.2). tlsx reproduces
+// exactly that surface — a cleartext handshake carrying the SNI and the
+// server's certificate name, followed by a keystream-obscured byte stream —
+// without real cryptography, which the system under test never depends on.
+// Domain fronting works as in the paper: the client connects to a front
+// host with the front's name in the SNI while the encrypted Host header
+// names the blocked back end (§2.2).
+//
+// Handshake wire format (all cleartext, censor-parseable):
+//
+//	"TLSX" | type(1) | nameLen(2) | name | random(8)
+//
+// where type 0x01 is a ClientHello (name = SNI) and 0x02 a ServerHello
+// (name = certificate subject). The subsequent stream is XORed with a
+// per-direction xorshift keystream seeded from both randoms.
+package tlsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Port is the conventional HTTPS port in the emulated world.
+const Port = 443
+
+var magic = [4]byte{'T', 'L', 'S', 'X'}
+
+// Handshake message types.
+const (
+	typeClientHello = 0x01
+	typeServerHello = 0x02
+)
+
+// Errors returned by the handshake.
+var (
+	ErrNotTLSX       = errors.New("tlsx: not a TLSX handshake")
+	ErrCertMismatch  = errors.New("tlsx: certificate name mismatch")
+	ErrNoCertForName = errors.New("tlsx: server has no certificate for SNI")
+)
+
+// maxNameLen bounds SNI/certificate names.
+const maxNameLen = 255
+
+// Hello is a parsed handshake message.
+type Hello struct {
+	Type   byte
+	Name   string // SNI for ClientHello, certificate subject for ServerHello
+	Random [8]byte
+}
+
+// marshalHello encodes a handshake message.
+func marshalHello(typ byte, name string, random [8]byte) ([]byte, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("tlsx: name too long (%d)", len(name))
+	}
+	b := make([]byte, 0, 4+1+2+len(name)+8)
+	b = append(b, magic[:]...)
+	b = append(b, typ)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(name)))
+	b = append(b, name...)
+	b = append(b, random[:]...)
+	return b, nil
+}
+
+// ReadHello parses one handshake message from r. Censors use this on raw
+// streams to extract the SNI.
+func ReadHello(r io.Reader) (*Hello, error) {
+	var head [7]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(head[0:4]) != magic {
+		return nil, ErrNotTLSX
+	}
+	h := &Hello{Type: head[4]}
+	nameLen := int(binary.BigEndian.Uint16(head[5:7]))
+	if nameLen > maxNameLen {
+		return nil, ErrNotTLSX
+	}
+	buf := make([]byte, nameLen+8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	h.Name = string(buf[:nameLen])
+	copy(h.Random[:], buf[nameLen:])
+	return h, nil
+}
+
+// SniffClientHello reports whether b begins a TLSX ClientHello and if so the
+// SNI it carries. It needs at most PeekLen bytes.
+func SniffClientHello(b []byte) (sni string, ok bool) {
+	if len(b) < 7 || [4]byte(b[0:4]) != magic || b[4] != typeClientHello {
+		return "", false
+	}
+	nameLen := int(binary.BigEndian.Uint16(b[5:7]))
+	if nameLen > maxNameLen || len(b) < 7+nameLen {
+		return "", false
+	}
+	return string(b[7 : 7+nameLen]), true
+}
+
+// PeekLen is how many bytes a censor must peek to read any SNI.
+const PeekLen = 7 + maxNameLen
+
+// keystream is a xorshift64-based pseudo-random byte stream. It provides
+// payload opacity to the on-path observer, standing in for TLS's real
+// cipher (see the package comment for why this is sufficient here).
+type keystream struct {
+	state uint64
+	buf   [8]byte
+	pos   int
+}
+
+func newKeystream(clientRand, serverRand [8]byte, direction string) *keystream {
+	h := fnv.New64a()
+	h.Write(clientRand[:])
+	h.Write(serverRand[:])
+	io.WriteString(h, direction)
+	s := h.Sum64()
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &keystream{state: s, pos: 8}
+}
+
+func (k *keystream) xor(b []byte) {
+	for i := range b {
+		if k.pos == 8 {
+			k.state ^= k.state << 13
+			k.state ^= k.state >> 7
+			k.state ^= k.state << 17
+			binary.BigEndian.PutUint64(k.buf[:], k.state)
+			k.pos = 0
+		}
+		b[i] ^= k.buf[k.pos]
+		k.pos++
+	}
+}
+
+// Conn is an established pseudo-TLS connection.
+type Conn struct {
+	net.Conn
+	peerName string // server cert (client side) or SNI (server side)
+
+	rmu sync.Mutex
+	rks *keystream
+	wmu sync.Mutex
+	wks *keystream
+}
+
+// PeerName returns the certificate name (on clients) or the received SNI
+// (on servers).
+func (c *Conn) PeerName() string { return c.peerName }
+
+// Read decrypts from the underlying connection.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n > 0 {
+		c.rmu.Lock()
+		c.rks.xor(b[:n])
+		c.rmu.Unlock()
+	}
+	return n, err
+}
+
+// Write encrypts to the underlying connection.
+func (c *Conn) Write(b []byte) (int, error) {
+	enc := make([]byte, len(b))
+	copy(enc, b)
+	c.wmu.Lock()
+	c.wks.xor(enc)
+	n, err := c.Conn.Write(enc)
+	if n < len(b) && err == nil {
+		err = io.ErrShortWrite
+	}
+	c.wmu.Unlock()
+	return n, err
+}
+
+// randomFrom derives an 8-byte handshake random. Determinism is fine: the
+// randoms only diversify keystreams, they carry no security weight here.
+func randomFrom(parts ...string) [8]byte {
+	h := fnv.New64a()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	var r [8]byte
+	binary.BigEndian.PutUint64(r[:], h.Sum64())
+	return r
+}
+
+// Client performs the client side of the handshake over conn, offering sni.
+// If expectCert is non-empty the server's certificate name must match it.
+func Client(conn net.Conn, sni, expectCert string) (*Conn, error) {
+	cr := randomFrom("client", sni, conn.LocalAddr().String())
+	hello, err := marshalHello(typeClientHello, sni, cr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(hello); err != nil {
+		return nil, err
+	}
+	sh, err := ReadHello(conn)
+	if err != nil {
+		return nil, err
+	}
+	if sh.Type != typeServerHello {
+		return nil, ErrNotTLSX
+	}
+	if expectCert != "" && !nameMatches(sh.Name, expectCert) {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrCertMismatch, sh.Name, expectCert)
+	}
+	return &Conn{
+		Conn:     conn,
+		peerName: sh.Name,
+		rks:      newKeystream(cr, sh.Random, "s2c"),
+		wks:      newKeystream(cr, sh.Random, "c2s"),
+	}, nil
+}
+
+// CertFunc maps a received SNI to the certificate name the server presents,
+// or "" to refuse the handshake. CDN/front servers present per-site certs.
+type CertFunc func(sni string) string
+
+// CertFor returns a CertFunc serving exactly the given names.
+func CertFor(names ...string) CertFunc {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[strings.ToLower(n)] = true
+	}
+	return func(sni string) string {
+		if set[strings.ToLower(sni)] {
+			return strings.ToLower(sni)
+		}
+		return ""
+	}
+}
+
+// Server performs the server side of the handshake over conn.
+func Server(conn net.Conn, certs CertFunc) (*Conn, error) {
+	ch, err := ReadHello(conn)
+	if err != nil {
+		return nil, err
+	}
+	if ch.Type != typeClientHello {
+		return nil, ErrNotTLSX
+	}
+	cert := certs(ch.Name)
+	if cert == "" {
+		return nil, fmt.Errorf("%w: %q", ErrNoCertForName, ch.Name)
+	}
+	sr := randomFrom("server", cert, conn.LocalAddr().String())
+	hello, err := marshalHello(typeServerHello, cert, sr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(hello); err != nil {
+		return nil, err
+	}
+	return &Conn{
+		Conn:     conn,
+		peerName: ch.Name,
+		rks:      newKeystream(ch.Random, sr, "c2s"),
+		wks:      newKeystream(ch.Random, sr, "s2c"),
+	}, nil
+}
+
+// nameMatches compares certificate names case-insensitively, honouring a
+// single leading wildcard label ("*.cdn.example").
+func nameMatches(cert, want string) bool {
+	cert, want = strings.ToLower(cert), strings.ToLower(want)
+	if cert == want {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(cert, "*."); ok {
+		if i := strings.IndexByte(want, '.'); i >= 0 && want[i+1:] == rest {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package tlsx
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// handshakePair runs client and server handshakes over a net.Pipe.
+func handshakePair(t *testing.T, sni, expectCert string, certs CertFunc) (*Conn, *Conn, error, error) {
+	t.Helper()
+	pc, ps := net.Pipe()
+	var (
+		cc, sc            *Conn
+		clientErr, srvErr error
+		clientOK          = make(chan struct{})
+		serverOK          = make(chan struct{})
+	)
+	go func() {
+		defer close(clientOK)
+		cc, clientErr = Client(pc, sni, expectCert)
+		if clientErr != nil {
+			pc.Close() // unblock the peer on a synchronous pipe
+		}
+	}()
+	go func() {
+		defer close(serverOK)
+		sc, srvErr = Server(ps, certs)
+		if srvErr != nil {
+			ps.Close()
+		}
+	}()
+	<-clientOK
+	<-serverOK
+	return cc, sc, clientErr, srvErr
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	cc, sc, cerr, serr := handshakePair(t, "www.youtube.com", "www.youtube.com", CertFor("www.youtube.com"))
+	if cerr != nil || serr != nil {
+		t.Fatalf("handshake: client=%v server=%v", cerr, serr)
+	}
+	if sc.PeerName() != "www.youtube.com" {
+		t.Fatalf("server saw SNI %q", sc.PeerName())
+	}
+	if cc.PeerName() != "www.youtube.com" {
+		t.Fatalf("client saw cert %q", cc.PeerName())
+	}
+
+	msg := []byte("GET / HTTP/1.1\r\nHost: www.youtube.com\r\n\r\n")
+	go func() {
+		cc.Write(msg)
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(sc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("server read %q", buf)
+	}
+
+	// And the other direction.
+	reply := []byte("HTTP/1.1 200 OK\r\n\r\n")
+	go func() { sc.Write(reply) }()
+	buf2 := make([]byte, len(reply))
+	if _, err := io.ReadFull(cc, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2, reply) {
+		t.Fatalf("client read %q", buf2)
+	}
+}
+
+func TestPayloadIsOpaqueOnWire(t *testing.T) {
+	// The censor must not see the Host header in the ciphertext.
+	pc, ps := net.Pipe()
+	var wire bytes.Buffer
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sc, err := Server(ps, CertFor("front.cdn.example"))
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, sc)
+	}()
+
+	// Tap the client→server bytes by wrapping the client side.
+	tap := &tapConn{Conn: pc, sink: &wire}
+	cc, err := Client(tap, "front.cdn.example", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := "Host: blocked.backend.example"
+	if _, err := cc.Write([]byte(secret)); err != nil {
+		t.Fatal(err)
+	}
+	pc.Close()
+	<-done
+
+	onWire := wire.String()
+	if !strings.Contains(onWire, "front.cdn.example") {
+		t.Error("SNI should be cleartext on the wire")
+	}
+	if strings.Contains(onWire, "blocked.backend") {
+		t.Error("encrypted payload leaked the Host header")
+	}
+}
+
+type tapConn struct {
+	net.Conn
+	sink *bytes.Buffer
+}
+
+func (c *tapConn) Write(b []byte) (int, error) {
+	c.sink.Write(b)
+	return c.Conn.Write(b)
+}
+
+func TestCertMismatch(t *testing.T) {
+	_, _, cerr, _ := handshakePair(t, "evil.example", "good.example", CertFor("evil.example"))
+	if cerr == nil {
+		t.Fatal("client accepted wrong certificate")
+	}
+}
+
+func TestServerRefusesUnknownSNI(t *testing.T) {
+	_, _, cerr, serr := handshakePair(t, "unknown.example", "", CertFor("known.example"))
+	if serr == nil {
+		t.Fatal("server handshook for unknown SNI")
+	}
+	_ = cerr // client fails too (EOF/short read); exact error not important
+}
+
+func TestWildcardCert(t *testing.T) {
+	if !nameMatches("*.cdn.example", "img7.cdn.example") {
+		t.Error("wildcard should match one label")
+	}
+	if nameMatches("*.cdn.example", "cdn.example") {
+		t.Error("wildcard should not match the bare domain")
+	}
+	if !nameMatches("A.Example", "a.example") {
+		t.Error("match should be case-insensitive")
+	}
+}
+
+func TestSniffClientHello(t *testing.T) {
+	cr := randomFrom("x")
+	hello, err := marshalHello(typeClientHello, "www.youtube.com", cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sni, ok := SniffClientHello(hello)
+	if !ok || sni != "www.youtube.com" {
+		t.Fatalf("sniff = %q %v", sni, ok)
+	}
+	if _, ok := SniffClientHello([]byte("GET / HTTP/1.1\r\n")); ok {
+		t.Error("sniffed SNI from plain HTTP")
+	}
+	if _, ok := SniffClientHello(hello[:5]); ok {
+		t.Error("sniffed SNI from truncated hello")
+	}
+}
+
+func TestReadHelloRejectsGarbage(t *testing.T) {
+	if _, err := ReadHello(strings.NewReader("NOPE....")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadHello(strings.NewReader("TL")); err == nil {
+		t.Error("short read accepted")
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	if _, err := marshalHello(typeClientHello, strings.Repeat("a", 300), [8]byte{}); err == nil {
+		t.Error("oversized name accepted")
+	}
+}
+
+func TestQuickKeystreamSymmetry(t *testing.T) {
+	// Property: XOR with the same keystream twice is the identity, across
+	// arbitrary chunking.
+	f := func(data []byte, cut uint8) bool {
+		var cr, sr [8]byte
+		cr = randomFrom("c")
+		sr = randomFrom("s")
+		enc := newKeystream(cr, sr, "d")
+		dec := newKeystream(cr, sr, "d")
+		buf := append([]byte(nil), data...)
+		k := int(cut)
+		if k > len(buf) {
+			k = len(buf)
+		}
+		enc.xor(buf[:k])
+		enc.xor(buf[k:])
+		dec.xor(buf)
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeystreamDirectionsDiffer(t *testing.T) {
+	cr, sr := randomFrom("c"), randomFrom("s")
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	newKeystream(cr, sr, "c2s").xor(a)
+	newKeystream(cr, sr, "s2c").xor(b)
+	if bytes.Equal(a, b) {
+		t.Fatal("directional keystreams identical")
+	}
+}

@@ -1,0 +1,228 @@
+// Package vtime provides a scaled virtual clock.
+//
+// The simulated internet in this repository models wide-area latencies and
+// protocol timeouts that span tens of seconds (a TCP connect timeout behind a
+// blackholing censor is 21s in the paper). Running those against the wall
+// clock would make the test suite and benchmark harness unusably slow, so
+// every substrate takes a *Clock and expresses durations in virtual time.
+// A Clock with scale S executes a virtual duration d as a real sleep of d/S
+// and reports elapsed time re-inflated by S. With scale 1 the clock is the
+// wall clock.
+//
+// Virtual timestamps use an arbitrary fixed epoch so that experiment output
+// (e.g. the §7.5 blocking timeline) is reproducible across runs.
+package vtime
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CoarseSleep is the OS timer granularity headroom: time.Sleep and timer
+// wakeups overshoot by up to ~1ms on typical hosts, which at high clock
+// scales would flatten hundreds of milliseconds of virtual latency. Precise
+// waits sleep until CoarseSleep before the target and spin the remainder.
+const CoarseSleep = 1500 * time.Microsecond
+
+// SleepRealPrecise sleeps for the real duration d with sub-millisecond
+// precision (hybrid timer + spin).
+func SleepRealPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	target := time.Now().Add(d)
+	if d > CoarseSleep {
+		time.Sleep(d - CoarseSleep)
+	}
+	SpinUntil(target)
+}
+
+// SpinUntil busy-waits (yielding) until the real instant t.
+func SpinUntil(t time.Time) {
+	for time.Now().Before(t) {
+		runtime.Gosched()
+	}
+}
+
+// DefaultEpoch is the virtual time at which every Clock starts unless
+// NewAt is used. It is chosen to match the paper's deployment window so the
+// "C-Saw in the wild" timeline renders with the paper's dates.
+var DefaultEpoch = time.Date(2017, time.November, 25, 0, 0, 0, 0, time.UTC)
+
+// Clock converts between virtual and real durations and provides the usual
+// timing primitives in virtual time. A Clock is safe for concurrent use.
+type Clock struct {
+	scale float64
+	epoch time.Time
+
+	mu   sync.Mutex
+	base time.Time // real instant corresponding to epoch
+}
+
+// New returns a Clock running at the given scale (virtual seconds per real
+// second) starting at DefaultEpoch. Scale values below 1e-9 panic: a zero or
+// negative scale would stop or reverse time.
+func New(scale float64) *Clock { return NewAt(DefaultEpoch, scale) }
+
+// NewAt returns a Clock with the given virtual epoch and scale.
+func NewAt(epoch time.Time, scale float64) *Clock {
+	if scale < 1e-9 {
+		panic("vtime: non-positive clock scale")
+	}
+	return &Clock{scale: scale, epoch: epoch, base: time.Now()}
+}
+
+// Wall returns a Clock that tracks the wall clock (scale 1) with the real
+// epoch, for deployments outside the simulator.
+func Wall() *Clock {
+	now := time.Now()
+	return &Clock{scale: 1, epoch: now, base: now}
+}
+
+// Scale reports the clock's virtual-seconds-per-real-second factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Advance jumps the virtual clock forward by d without sleeping. It is
+// meant for quiescent moments between experiment phases (no in-flight
+// transfers or armed timers that should fire "during" the jump): sleepers
+// armed before the jump still wake after their full real delay, i.e. later
+// in virtual time.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.base = c.base.Add(-c.Real(d))
+	c.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	base := c.base
+	c.mu.Unlock()
+	return c.epoch.Add(c.Virtual(time.Since(base)))
+}
+
+// Since returns the virtual duration elapsed since the virtual instant t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Real converts a virtual duration to the real duration to execute it.
+func (c *Clock) Real(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / c.scale)
+}
+
+// Virtual converts a real elapsed duration to virtual time.
+func (c *Clock) Virtual(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * c.scale)
+}
+
+// Sleep blocks for the virtual duration d, precisely.
+func (c *Clock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	SleepRealPrecise(c.Real(d))
+}
+
+// SleepCtx blocks for the virtual duration d or until ctx is done, returning
+// ctx.Err() in the latter case. The tail of the wait spins for precision.
+func (c *Clock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	real := c.Real(d)
+	target := time.Now().Add(real)
+	if real > CoarseSleep {
+		t := time.NewTimer(real - CoarseSleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		t.Stop()
+	}
+	for time.Now().Before(target) {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		runtime.Gosched()
+	}
+	return nil
+}
+
+// After returns a channel that delivers the virtual time after virtual
+// duration d.
+func (c *Clock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	time.AfterFunc(c.Real(d), func() { ch <- c.Now() })
+	return ch
+}
+
+// AfterFunc runs f on its own goroutine after virtual duration d and returns
+// a stop function. Stop reports whether it prevented f from running.
+func (c *Clock) AfterFunc(d time.Duration, f func()) (stop func() bool) {
+	t := time.AfterFunc(c.Real(d), f)
+	return t.Stop
+}
+
+// WithTimeout returns a context that is cancelled after the virtual duration d.
+func (c *Clock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.Real(d))
+}
+
+// Deadline converts a virtual deadline to the corresponding real deadline,
+// suitable for net.Conn.SetDeadline on real-time transports.
+func (c *Clock) Deadline(virtual time.Time) time.Time {
+	c.mu.Lock()
+	base := c.base
+	c.mu.Unlock()
+	return base.Add(c.Real(virtual.Sub(c.epoch)))
+}
+
+// Ticker delivers ticks every virtual duration d.
+type Ticker struct {
+	C    <-chan time.Time
+	t    *time.Ticker
+	done chan struct{}
+	once sync.Once
+}
+
+// NewTicker returns a Ticker firing every virtual duration d. d must be
+// positive.
+func (c *Clock) NewTicker(d time.Duration) *Ticker {
+	rt := time.NewTicker(c.Real(max(d, 1)))
+	ch := make(chan time.Time, 1)
+	tk := &Ticker{C: ch, t: rt, done: make(chan struct{})}
+	go func() {
+		for {
+			select {
+			case <-rt.C:
+				select {
+				case ch <- c.Now():
+				default:
+				}
+			case <-tk.done:
+				return
+			}
+		}
+	}()
+	return tk
+}
+
+// Stop turns off the ticker.
+func (t *Ticker) Stop() {
+	t.once.Do(func() {
+		t.t.Stop()
+		close(t.done)
+	})
+}

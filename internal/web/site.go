@@ -1,0 +1,221 @@
+// Package web models the web content and clients of the emulated internet:
+// sites made of base pages plus embedded objects, origin and CDN servers
+// that serve them over HTTP and pseudo-TLS, a pluggable Transport used by
+// every circumvention path, and a browser-like Fetcher that measures page
+// load times (PLTs) the way the paper's evaluation does — base page fetch,
+// parse embedded links, parallel object fetches, PLT = time until the last
+// object lands.
+package web
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Object is an embedded resource served by the page's own host.
+type Object struct {
+	Path string
+	Size int
+}
+
+// ObjectRef is an embedded resource on another host (e.g. a CDN); pages with
+// external refs are how the pilot study surfaced CDN-server blocking (§7.4).
+type ObjectRef struct {
+	Host string
+	Path string
+	Size int
+}
+
+// Page is a base HTML document plus its embedded objects.
+type Page struct {
+	Host     string
+	Path     string
+	Title    string
+	BaseSize int // target size of the HTML document in bytes
+	Objects  []Object
+	External []ObjectRef
+}
+
+// TotalSize returns base size plus all object sizes, the "page size" the
+// paper quotes (e.g. the ~360 KB YouTube home page).
+func (p *Page) TotalSize() int {
+	t := p.BaseSize
+	for _, o := range p.Objects {
+		t += o.Size
+	}
+	for _, o := range p.External {
+		t += o.Size
+	}
+	return t
+}
+
+// Site is a host and its pages.
+type Site struct {
+	Host  string
+	mu    sync.RWMutex
+	pages map[string]*Page
+}
+
+// NewSite returns an empty site for host.
+func NewSite(host string) *Site {
+	return &Site{Host: strings.ToLower(host), pages: make(map[string]*Page)}
+}
+
+// AddPage creates a page at path with the given title and base size, plus
+// one same-host object per size in objSizes (auto-named under
+// /assets/). It returns the page for further decoration.
+func (s *Site) AddPage(path, title string, baseSize int, objSizes ...int) *Page {
+	if path == "" {
+		path = "/"
+	}
+	p := &Page{Host: s.Host, Path: path, Title: title, BaseSize: baseSize}
+	slug := strings.Trim(strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '-'
+	}, strings.ToLower(path)), "-")
+	if slug == "" {
+		slug = "index"
+	}
+	for i, size := range objSizes {
+		p.Objects = append(p.Objects, Object{Path: fmt.Sprintf("/assets/%s-%d.bin", slug, i), Size: size})
+	}
+	s.mu.Lock()
+	s.pages[path] = p
+	s.mu.Unlock()
+	return p
+}
+
+// AddExternal adds an object served from another host to the page.
+func (p *Page) AddExternal(host, path string, size int) *Page {
+	p.External = append(p.External, ObjectRef{Host: strings.ToLower(host), Path: path, Size: size})
+	return p
+}
+
+// Page returns the page at path, or nil.
+func (s *Site) Page(path string) *Page {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pages[path]
+}
+
+// Paths returns all page paths, sorted.
+func (s *Site) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	paths := make([]string, 0, len(s.pages))
+	for p := range s.pages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// objectSize returns the size of a same-host object by path, or -1.
+func (s *Site) objectSize(path string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.pages {
+		for _, o := range p.Objects {
+			if o.Path == path {
+				return o.Size
+			}
+		}
+		for _, o := range p.External {
+			if o.Host == s.Host && o.Path == path {
+				return o.Size
+			}
+		}
+	}
+	return -1
+}
+
+// RenderHTML produces the page's HTML: head with title, img tags for every
+// object (relative for same-host, absolute for external), and deterministic
+// filler to reach BaseSize.
+func RenderHTML(p *Page) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html>\n<head><title>%s</title></head>\n<body>\n<h1>%s</h1>\n", p.Title, p.Title)
+	for _, o := range p.Objects {
+		fmt.Fprintf(&b, "<img src=\"%s\" alt=\"asset\">\n", o.Path)
+	}
+	for _, o := range p.External {
+		fmt.Fprintf(&b, "<img src=\"http://%s%s\" alt=\"ext\">\n", o.Host, o.Path)
+	}
+	const tail = "</body>\n</html>\n"
+	filler := p.BaseSize - b.Len() - len(tail)
+	if filler > 0 {
+		b.WriteString("<p>")
+		chunk := "lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+		for filler > len(chunk)+4 {
+			b.WriteString(chunk)
+			filler -= len(chunk)
+		}
+		b.WriteString(strings.Repeat(".", max(filler-4, 0)))
+		b.WriteString("</p>")
+	}
+	b.WriteString(tail)
+	return []byte(b.String())
+}
+
+// Link is a reference extracted from HTML.
+type Link struct {
+	Host string // "" for same-host
+	Path string
+}
+
+// ExtractLinks scans HTML for src attributes (img, script, iframe) and
+// stylesheet hrefs — the subset of sub-resources the emulated browser loads.
+func ExtractLinks(html []byte) []Link {
+	var links []Link
+	s := string(html)
+	for _, attr := range []string{`src="`, `href="`} {
+		rest := s
+		for {
+			i := strings.Index(rest, attr)
+			if i < 0 {
+				break
+			}
+			rest = rest[i+len(attr):]
+			j := strings.IndexByte(rest, '"')
+			if j < 0 {
+				break
+			}
+			val := rest[:j]
+			rest = rest[j+1:]
+			if attr == `href="` && !strings.HasSuffix(val, ".css") {
+				continue
+			}
+			links = append(links, parseLink(val))
+		}
+	}
+	return links
+}
+
+func parseLink(val string) Link {
+	for _, scheme := range []string{"http://", "https://"} {
+		if rest, ok := strings.CutPrefix(val, scheme); ok {
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				return Link{Host: strings.ToLower(rest[:i]), Path: rest[i:]}
+			}
+			return Link{Host: strings.ToLower(rest), Path: "/"}
+		}
+	}
+	if !strings.HasPrefix(val, "/") {
+		val = "/" + val
+	}
+	return Link{Path: val}
+}
+
+// ObjectBody returns deterministic filler bytes of the given size for
+// serving objects.
+func ObjectBody(size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte('a' + (i*7)%26)
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package web
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"csaw/internal/httpx"
+	"csaw/internal/netem"
+	"csaw/internal/tlsx"
+	"csaw/internal/vtime"
+)
+
+// Transport is one way of fetching a URL: the direct path or any
+// circumvention approach. The C-Saw circumvention module builds one
+// Transport per approach (direct, public-DNS fix, HTTPS fix, domain
+// fronting, IP-as-hostname, static proxy, Lantern, Tor) and the browser
+// fetcher is agnostic to which one it drives.
+type Transport struct {
+	// Label identifies the transport in results ("direct", "tor", ...).
+	Label string
+	// Dialer opens the underlying stream. Required.
+	Dialer netem.DialFunc
+	// Lookup resolves a hostname to an IP. If nil, "host:port" is passed to
+	// Dialer verbatim — Tor-style remote resolution at the exit.
+	Lookup func(ctx context.Context, host string) (string, error)
+	// TLS selects pseudo-TLS (port 443) instead of HTTP (port 80).
+	TLS bool
+	// SNI overrides the TLS server name (domain fronting). Nil means the
+	// request host.
+	SNI func(host string) string
+	// HostHeader overrides the Host header. Nil means the request host.
+	HostHeader func(host string) string
+	// HostHeaderFromAddr sends the *resolved connect address* as the Host
+	// header — the "IP as hostname" local fix (§2.3): the URL carries the
+	// blocked site's IP instead of its keyword-filterable name.
+	HostHeaderFromAddr bool
+	// VerifyCert requires the server certificate to match the SNI.
+	VerifyCert bool
+	// Clock drives timeouts. Required.
+	Clock *vtime.Clock
+	// Timeout bounds one exchange (virtual). Zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// DefaultTransportTimeout bounds one exchange when Transport.Timeout is 0.
+// It must exceed the longest blocking-detection time (~33 s, Table 5).
+const DefaultTransportTimeout = 45 * time.Second
+
+func (t *Transport) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return DefaultTransportTimeout
+}
+
+// Port returns the destination port implied by the transport's scheme.
+func (t *Transport) Port() int {
+	if t.TLS {
+		return tlsx.Port
+	}
+	return 80
+}
+
+// Fetch performs one GET for host+path and returns the response.
+func (t *Transport) Fetch(ctx context.Context, host, path string) (*httpx.Response, error) {
+	return t.RoundTrip(ctx, httpx.NewRequest("GET", host, path))
+}
+
+// RoundTrip sends an arbitrary request over the transport, applying its
+// resolution, TLS/SNI, and Host-header rules — the path Fetch uses, and
+// the one non-GET requests (never duplicated, §4.3.1) ride as well.
+func (t *Transport) RoundTrip(ctx context.Context, req *httpx.Request) (*httpx.Response, error) {
+	ctx, cancel := t.Clock.WithTimeout(ctx, t.timeout())
+	defer cancel()
+
+	host := req.Host
+	addr, err := t.connectAddr(ctx, host)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := t.Dialer(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(t.Clock.Now().Add(t.timeout()))
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	var stream net.Conn = conn
+	if t.TLS {
+		sni := host
+		if t.SNI != nil {
+			sni = t.SNI(host)
+		}
+		expect := ""
+		if t.VerifyCert {
+			expect = sni
+		}
+		tc, err := tlsx.Client(conn, sni, expect)
+		if err != nil {
+			return nil, fmt.Errorf("transport %s: tls: %w", t.Label, err)
+		}
+		stream = tc
+	}
+
+	hostHeader := host
+	switch {
+	case t.HostHeader != nil:
+		hostHeader = t.HostHeader(host)
+	case t.HostHeaderFromAddr:
+		if ip, _, err := netem.SplitAddr(addr); err == nil {
+			hostHeader = ip
+		}
+	}
+	req.Host = hostHeader
+	if req.Header == nil {
+		req.Header = httpx.Header{}
+	}
+	req.Header.Set("Connection", "close")
+	if err := httpx.WriteRequest(stream, req); err != nil {
+		return nil, err
+	}
+	return readResponse(stream)
+}
+
+// connectAddr decides what address to hand to the dialer.
+func (t *Transport) connectAddr(ctx context.Context, host string) (string, error) {
+	port := t.Port()
+	if t.Lookup == nil {
+		return fmt.Sprintf("%s:%d", host, port), nil
+	}
+	if isIPLiteral(host) {
+		return fmt.Sprintf("%s:%d", host, port), nil
+	}
+	ip, err := t.Lookup(ctx, host)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s:%d", ip, port), nil
+}
+
+// isIPLiteral reports whether s looks like a dotted-quad IP.
+func isIPLiteral(s string) bool {
+	dots := 0
+	for _, c := range s {
+		switch {
+		case c == '.':
+			dots++
+		case c < '0' || c > '9':
+			return false
+		}
+	}
+	return dots == 3
+}
+
+func readResponse(stream net.Conn) (*httpx.Response, error) {
+	br := newBufReader(stream)
+	return httpx.ReadResponse(br)
+}
+
+// StaticLookup returns a Lookup that serves from a fixed map (tests and
+// pre-resolved flows).
+func StaticLookup(m map[string]string) func(context.Context, string) (string, error) {
+	return func(_ context.Context, host string) (string, error) {
+		if ip, ok := m[strings.ToLower(host)]; ok {
+			return ip, nil
+		}
+		return "", fmt.Errorf("web: no address for %q", host)
+	}
+}

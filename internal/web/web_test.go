@@ -1,0 +1,299 @@
+package web
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"csaw/internal/httpx"
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+func TestRenderAndExtract(t *testing.T) {
+	s := NewSite("www.youtube.com")
+	p := s.AddPage("/", "YouTube", 4096, 1000, 2000)
+	p.AddExternal("cdn.example.net", "/lib.js", 500)
+
+	html := RenderHTML(p)
+	if len(html) < 4000 || len(html) > 4200 {
+		t.Errorf("rendered size %d, want ≈4096", len(html))
+	}
+	if !strings.Contains(string(html), "<title>YouTube</title>") {
+		t.Error("title missing")
+	}
+	links := ExtractLinks(html)
+	if len(links) != 3 {
+		t.Fatalf("links = %v, want 3", links)
+	}
+	ext := 0
+	for _, l := range links {
+		if l.Host == "cdn.example.net" {
+			ext++
+			if l.Path != "/lib.js" {
+				t.Errorf("external path = %q", l.Path)
+			}
+		}
+	}
+	if ext != 1 {
+		t.Errorf("external links = %d", ext)
+	}
+}
+
+func TestExtractCSSHrefOnly(t *testing.T) {
+	html := []byte(`<link rel="stylesheet" href="/style.css"><a href="/page.html">x</a><script src="/app.js"></script>`)
+	links := ExtractLinks(html)
+	if len(links) != 2 {
+		t.Fatalf("links = %v, want script+css only", links)
+	}
+}
+
+func TestParseLink(t *testing.T) {
+	cases := []struct {
+		in       string
+		host, pt string
+	}{
+		{"/a/b.png", "", "/a/b.png"},
+		{"http://cdn.x.net/a.js", "cdn.x.net", "/a.js"},
+		{"https://CDN.X.NET", "cdn.x.net", "/"},
+		{"img.png", "", "/img.png"},
+	}
+	for _, c := range cases {
+		got := parseLink(c.in)
+		if got.Host != c.host || got.Path != c.pt {
+			t.Errorf("parseLink(%q) = %+v", c.in, got)
+		}
+	}
+}
+
+func TestPageTotalSize(t *testing.T) {
+	s := NewSite("x.example")
+	p := s.AddPage("/", "X", 1000, 200, 300)
+	p.AddExternal("cdn.example", "/o.bin", 500)
+	if got := p.TotalSize(); got != 2000 {
+		t.Fatalf("TotalSize = %d, want 2000", got)
+	}
+}
+
+func TestObjectBodyDeterministic(t *testing.T) {
+	a, b := ObjectBody(100), ObjectBody(100)
+	if string(a) != string(b) || len(a) != 100 {
+		t.Fatal("object body not deterministic")
+	}
+}
+
+// webWorld: client in pk, origin in us hosting two sites, with working DNS
+// via a static lookup.
+func webWorld(t *testing.T) (*netem.Network, *netem.Host, *Origin) {
+	t.Helper()
+	clock := vtime.New(500)
+	n := netem.New(clock, netem.WithSeed(9), netem.WithJitter(0), netem.WithBandwidth(1<<20))
+	pk := n.AddAS(1, "ISP", "PK")
+	us := n.AddAS(2, "US", "US")
+	client := n.MustAddHost("client", "10.0.0.1", "pk", pk)
+	originHost := n.MustAddHost("origin", "93.184.216.34", "us", us)
+	n.SetRTT("pk", "us", 100*time.Millisecond)
+
+	yt := NewSite("www.youtube.com")
+	yt.AddPage("/", "YouTube", 8192, 20000, 30000, 10000)
+	small := NewSite("small.example.com")
+	small.AddPage("/", "Small", 2048)
+
+	origin, err := NewOrigin(originHost, yt, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, client, origin
+}
+
+func testTransport(n *netem.Network, client *netem.Host, tls bool) *Transport {
+	return &Transport{
+		Label:  "direct",
+		Dialer: client.Dial,
+		Lookup: StaticLookup(map[string]string{
+			"www.youtube.com":   "93.184.216.34",
+			"small.example.com": "93.184.216.34",
+		}),
+		TLS:     tls,
+		Clock:   n.Clock(),
+		Timeout: 20 * time.Second,
+	}
+}
+
+func TestBrowserLoadsPageWithObjects(t *testing.T) {
+	n, client, _ := webWorld(t)
+	b := NewBrowser(testTransport(n, client, false))
+	res := b.Load(context.Background(), "www.youtube.com", "/")
+	if !res.OK() {
+		t.Fatalf("load failed: %+v", res)
+	}
+	if res.Objects != 3 || res.ObjectErrs != 0 {
+		t.Fatalf("objects = %d errs = %d, want 3/0", res.Objects, res.ObjectErrs)
+	}
+	if res.Bytes < 68000 {
+		t.Errorf("bytes = %d, want ≈68KB", res.Bytes)
+	}
+	if res.PLT <= 0 {
+		t.Error("PLT not measured")
+	}
+}
+
+func TestBrowserHTTPS(t *testing.T) {
+	n, client, _ := webWorld(t)
+	tr := testTransport(n, client, true)
+	tr.VerifyCert = true
+	b := NewBrowser(tr)
+	res := b.Load(context.Background(), "small.example.com", "/")
+	if !res.OK() {
+		t.Fatalf("https load failed: %+v", res)
+	}
+}
+
+func TestDomainFrontingTransport(t *testing.T) {
+	// SNI says small.example.com; Host header asks for the blocked site.
+	// The shared origin serves it.
+	n, client, _ := webWorld(t)
+	tr := testTransport(n, client, true)
+	tr.SNI = func(string) string { return "small.example.com" }
+	tr.Lookup = StaticLookup(map[string]string{
+		"www.youtube.com":   "93.184.216.34",
+		"small.example.com": "93.184.216.34",
+	})
+	resp, err := tr.Fetch(context.Background(), "www.youtube.com", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "YouTube") {
+		t.Fatalf("fronted fetch = %d", resp.StatusCode)
+	}
+}
+
+func TestIPAsHostnameTransport(t *testing.T) {
+	n, client, _ := webWorld(t)
+	clock := n.Clock()
+	// Single-site origin so the IP-addressed request is unambiguous.
+	us := n.AS(2)
+	oh := n.MustAddHost("porn-origin", "198.51.100.7", "us", us)
+	site := NewSite("porn.example.net")
+	site.AddPage("/", "Adult Site", 2000)
+	if _, err := NewOrigin(oh, site); err != nil {
+		t.Fatal(err)
+	}
+	tr := &Transport{
+		Label:      "ip-as-hostname",
+		Dialer:     client.Dial,
+		Lookup:     StaticLookup(map[string]string{}),
+		HostHeader: func(string) string { return "198.51.100.7" },
+		Clock:      clock,
+		Timeout:    10 * time.Second,
+	}
+	resp, err := tr.Fetch(context.Background(), "198.51.100.7", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "Adult Site") {
+		t.Fatalf("ip-as-hostname fetch = %d %q", resp.StatusCode, resp.Body[:40])
+	}
+}
+
+func TestBrowserFollowsRedirect(t *testing.T) {
+	n, client, _ := webWorld(t)
+	us := n.AS(2)
+	rh := n.MustAddHost("redirector", "198.51.100.8", "us", us)
+	l := rh.MustListen(80)
+	httpx.Serve(l, httpx.HandlerFunc(func(req *httpx.Request, _ netem.Flow) *httpx.Response {
+		resp := httpx.NewResponse(302, nil)
+		resp.Header.Set("Location", "http://small.example.com/")
+		return resp
+	}))
+	tr := testTransport(n, client, false)
+	tr.Lookup = StaticLookup(map[string]string{
+		"small.example.com": "93.184.216.34",
+		"redir.example.com": "198.51.100.8",
+	})
+	b := NewBrowser(tr)
+	res := b.Load(context.Background(), "redir.example.com", "/old")
+	if !res.OK() || res.Redirects != 1 {
+		t.Fatalf("redirect load: %+v", res)
+	}
+	if !strings.Contains(string(res.Body), "Small") {
+		t.Error("final body is not the redirect target")
+	}
+}
+
+func TestBrowserRedirectLoopBounded(t *testing.T) {
+	n, client, _ := webWorld(t)
+	us := n.AS(2)
+	rh := n.MustAddHost("loop", "198.51.100.9", "us", us)
+	httpx.Serve(rh.MustListen(80), httpx.HandlerFunc(func(*httpx.Request, netem.Flow) *httpx.Response {
+		resp := httpx.NewResponse(302, nil)
+		resp.Header.Set("Location", "http://loop.example.com/")
+		return resp
+	}))
+	tr := testTransport(n, client, false)
+	tr.Lookup = StaticLookup(map[string]string{"loop.example.com": "198.51.100.9"})
+	b := NewBrowser(tr)
+	res := b.Load(context.Background(), "loop.example.com", "/")
+	if res.Err == nil {
+		t.Fatal("redirect loop not bounded")
+	}
+}
+
+func TestPLTScalesWithPageSize(t *testing.T) {
+	n, client, _ := webWorld(t)
+	b := NewBrowser(testTransport(n, client, false))
+	big := b.Load(context.Background(), "www.youtube.com", "/")
+	small := b.Load(context.Background(), "small.example.com", "/")
+	if !big.OK() || !small.OK() {
+		t.Fatalf("loads failed: %+v %+v", big.Err, small.Err)
+	}
+	if big.PLT <= small.PLT {
+		t.Errorf("big page PLT %v <= small page PLT %v", big.PLT, small.PLT)
+	}
+}
+
+func TestASNEcho(t *testing.T) {
+	n, client, _ := webWorld(t)
+	us := n.AS(2)
+	eh := n.MustAddHost("asn-echo", "198.51.100.100", "us", us)
+	if err := ServeASNEcho(eh); err != nil {
+		t.Fatal(err)
+	}
+	c := &httpx.Client{Dial: client.Dial, Clock: n.Clock(), Timeout: 5 * time.Second}
+	resp, err := c.Get(context.Background(), "198.51.100.100:80", "asn.echo", ASNEchoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "1" {
+		t.Fatalf("ASN echo = %q, want 1", resp.Body)
+	}
+}
+
+func TestOriginUnknownHost404(t *testing.T) {
+	n, client, _ := webWorld(t)
+	tr := testTransport(n, client, false)
+	tr.Lookup = StaticLookup(map[string]string{"unknown.example": "93.184.216.34"})
+	resp, err := tr.Fetch(context.Background(), "unknown.example", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestLooksLikeHTML(t *testing.T) {
+	if !LooksLikeHTML([]byte("<!DOCTYPE html><html>...")) {
+		t.Error("doctype not detected")
+	}
+	if LooksLikeHTML(ObjectBody(100)) {
+		t.Error("binary detected as HTML")
+	}
+}
+
+func TestIsIPLiteral(t *testing.T) {
+	if !isIPLiteral("10.0.0.1") || isIPLiteral("example.com") || isIPLiteral("1.2.3") {
+		t.Error("isIPLiteral wrong")
+	}
+}

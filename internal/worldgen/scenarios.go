@@ -1,0 +1,232 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"csaw/internal/censor"
+	"csaw/internal/web"
+)
+
+// Canonical test sites, sized to the pages the evaluation names.
+const (
+	YouTubeHost = "www.youtube.com"       // ~360 KB home page (Figure 1a/1b)
+	PornHost    = "hot.example.net"       // ~50 KB page (Figure 1c)
+	SmallHost   = "small.example.com"     // 95 KB page (Figure 5b)
+	LargeHost   = "large.example.com"     // 316 KB page (Figure 5c)
+	NewsHost    = "news.example.pk"       // never blocked
+	CDNHost     = "static.cdn-pk.example" // third-party CDN (the §7.4 discovery)
+)
+
+// StandardSites builds the canonical site set and mounts it on one origin
+// (frontable, so domain fronting works against it) plus a separate CDN
+// asset host.
+func (w *World) StandardSites() error {
+	yt := web.NewSite(YouTubeHost)
+	// ~360 KB total: 20 KB base + mixed media objects.
+	yt.AddPage("/", "YouTube", 20<<10, 120<<10, 100<<10, 80<<10, 28<<10, 12<<10)
+	yt.AddPage("/watch", "YouTube - watch", 18<<10, 90<<10, 60<<10)
+
+	porn := web.NewSite(PornHost)
+	porn.AddPage("/", "Hot Videos", 10<<10, 25<<10, 15<<10)
+
+	small := web.NewSite(SmallHost)
+	small.AddPage("/", "Small page", 15<<10, 40<<10, 40<<10)
+
+	large := web.NewSite(LargeHost)
+	large.AddPage("/", "Large page", 16<<10, 100<<10, 100<<10, 100<<10)
+
+	news := web.NewSite(NewsHost)
+	p := news.AddPage("/", "Daily News", 12<<10, 30<<10)
+	p.AddExternal(CDNHost, "/lib/analytics.js", 20<<10)
+	p.AddExternal(CDNHost, "/img/banner.jpg", 60<<10)
+
+	if _, err := w.AddOrigin("origin-main", true, yt, small, large, news); err != nil {
+		return err
+	}
+	// The porn site lives alone on its origin: requests addressed to the
+	// bare IP are unambiguous there, which is what makes the
+	// "IP as hostname" fix of Figure 1c work against keyword filters.
+	if _, err := w.AddOrigin("origin-porn", false, porn); err != nil {
+		return err
+	}
+
+	cdn := web.NewSite(CDNHost)
+	cdn.AddPage("/", "cdn index", 512)
+	// The CDN serves bare assets; register them as pages' objects by
+	// declaring a page that owns them.
+	cp := cdn.AddPage("/assets", "assets", 256)
+	_ = cp
+	cdnSite := cdn
+	// Objects referenced by news.example.pk:
+	cdnSite.AddPage("/lib/analytics.js", "js", 20<<10)
+	cdnSite.AddPage("/img/banner.jpg", "img", 60<<10)
+	if _, err := w.AddOrigin("origin-cdn", false, cdnSite); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AlexaPKSites builds 15 sites standing in for the Alexa-top-15 Pakistan
+// crawl of Figure 6b, each with several pages.
+func (w *World) AlexaPKSites() ([]*web.Site, error) {
+	var sites []*web.Site
+	for i := 0; i < 15; i++ {
+		s := web.NewSite(fmt.Sprintf("top%02d.example.pk", i))
+		s.AddPage("/", fmt.Sprintf("Top site %d", i), 8<<10, 10<<10)
+		for p := 0; p < 5; p++ {
+			s.AddPage(fmt.Sprintf("/page%d.html", p), fmt.Sprintf("Page %d", p), 6<<10, 8<<10)
+		}
+		sites = append(sites, s)
+	}
+	if _, err := w.AddOrigin("origin-alexa", false, sites...); err != nil {
+		return nil, err
+	}
+	return sites, nil
+}
+
+// Table-1 ISP profiles (the distributed-censorship case study, §2.3).
+
+// ISPAPolicy is ISP-A: HTTP blocking with redirection to a block page for
+// YouTube and everything else on the blacklist.
+func ISPAPolicy(blockPageURL string, blockedHosts ...string) *censor.Policy {
+	p := &censor.Policy{
+		Name:         "ISP-A",
+		BlockPageURL: blockPageURL,
+	}
+	for _, h := range blockedHosts {
+		p.HTTP = append(p.HTTP, censor.HTTPRule{Host: h, Action: censor.HTTPRedirect})
+	}
+	return p
+}
+
+// ISPBPolicy is ISP-B: multi-stage blocking for YouTube (DNS redirect to a
+// local host plus dropped HTTP and HTTPS), and iframe block pages for the
+// rest (social/porn/political).
+func ISPBPolicy(redirectIP, blockPageURL string, youtube string, rest ...string) *censor.Policy {
+	p := &censor.Policy{
+		Name:         "ISP-B",
+		RedirectIP:   redirectIP,
+		BlockPageURL: blockPageURL,
+		DNS:          map[string]censor.DNSAction{youtube: censor.DNSRedirect},
+		SNI:          map[string]censor.TLSAction{youtube: censor.TLSDrop},
+		HTTP:         []censor.HTTPRule{{Host: youtube, Action: censor.HTTPDrop}},
+	}
+	for _, h := range rest {
+		p.HTTP = append(p.HTTP, censor.HTTPRule{Host: h, Action: censor.HTTPIframe})
+	}
+	return p
+}
+
+// CaseStudy builds the §2.3 world: standard sites plus ISP-A and ISP-B
+// enforcing Table 1, each with an in-ISP block-page host.
+func (w *World) CaseStudy() (ispA, ispB *ISP, err error) {
+	if err := w.StandardSites(); err != nil {
+		return nil, nil, err
+	}
+	ispA, err = w.AddISP(17557, "ISP-A", &censor.Policy{})
+	if err != nil {
+		return nil, nil, err
+	}
+	bpA, err := w.AddBlockPageHost(ispA, "block.isp-a.pk")
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = bpA
+	ispA.Censor.SetPolicy(ISPAPolicy("block.isp-a.pk/blocked.html",
+		"youtube.com", PornHost, "social.example.org", "politics.example.org"))
+
+	ispB, err = w.AddISP(38193, "ISP-B", &censor.Policy{})
+	if err != nil {
+		return nil, nil, err
+	}
+	bpB, err := w.AddBlockPageHost(ispB, "block.isp-b.pk")
+	if err != nil {
+		return nil, nil, err
+	}
+	ispB.Censor.SetPolicy(ISPBPolicy(bpB.IP(), "block.isp-b.pk/blocked.html",
+		"youtube.com", PornHost, "social.example.org", "politics.example.org"))
+	return ispA, ispB, nil
+}
+
+// Figure2AS describes one AS of the Figure-2 survey with its blocking-type
+// mix over the probe list.
+type Figure2AS struct {
+	ASN     int
+	Country string
+	// Mix maps mechanisms to the fraction of the blocked list they apply
+	// to; fractions are applied deterministically over the list order.
+	Mix map[string]float64
+}
+
+// Figure2ASes reproduces the per-AS mechanism mixes visible in Figure 2:
+// the categories are NoDNS, DNSRedir, NoHTTPResp, RST, and BlockPage.
+func Figure2ASes() []Figure2AS {
+	return []Figure2AS{
+		{30873, "Yemen", map[string]float64{"NoHTTPResp": 0.55, "NoDNS": 0.25, "BlockPage": 0.20}},
+		{4795, "Indonesia", map[string]float64{"DNSRedir": 0.80, "BlockPage": 0.20}},
+		{18403, "Vietnam", map[string]float64{"NoDNS": 0.60, "NoHTTPResp": 0.40}},
+		{45543, "Vietnam", map[string]float64{"NoDNS": 0.85, "RST": 0.15}},
+		{45899, "Vietnam", map[string]float64{"NoDNS": 0.50, "NoHTTPResp": 0.30, "RST": 0.20}},
+		{8511, "Indonesia", map[string]float64{"DNSRedir": 0.65, "BlockPage": 0.35}},
+		{12997, "Indonesia", map[string]float64{"DNSRedir": 0.45, "BlockPage": 0.55}},
+		{8449, "Kyrgyzstan", map[string]float64{"BlockPage": 0.60, "RST": 0.25, "NoDNS": 0.15}},
+	}
+}
+
+// BuildFigure2ISP creates an ISP whose policy applies the AS's mechanism
+// mix across the given blocked hostnames, returning the ISP and the
+// per-host assigned mechanism.
+func (w *World) BuildFigure2ISP(spec Figure2AS, blocked []string, blockPageURL string) (*ISP, map[string]string, error) {
+	isp, err := w.AddISP(spec.ASN, fmt.Sprintf("AS%d-%s", spec.ASN, spec.Country), &censor.Policy{})
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &censor.Policy{
+		Name:         fmt.Sprintf("AS%d", spec.ASN),
+		DNS:          map[string]censor.DNSAction{},
+		BlockPageURL: blockPageURL,
+	}
+	// Assign mechanisms deterministically by cumulative fraction.
+	order := []string{"NoDNS", "DNSRedir", "NoHTTPResp", "RST", "BlockPage"}
+	assigned := make(map[string]string, len(blocked))
+	idx := 0
+	for _, mech := range order {
+		frac, ok := spec.Mix[mech]
+		if !ok {
+			continue
+		}
+		count := int(frac*float64(len(blocked)) + 0.5)
+		for i := 0; i < count && idx < len(blocked); i++ {
+			host := blocked[idx]
+			idx++
+			assigned[host] = mech
+			switch mech {
+			case "NoDNS":
+				p.DNS[host] = censor.DNSDrop
+			case "DNSRedir":
+				p.DNS[host] = censor.DNSRedirect
+			case "NoHTTPResp":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: host, Action: censor.HTTPDrop})
+			case "RST":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: host, Action: censor.HTTPReset})
+			case "BlockPage":
+				p.HTTP = append(p.HTTP, censor.HTTPRule{Host: host, Action: censor.HTTPBlockPage})
+			}
+		}
+	}
+	// Anything left over (rounding) gets the last mechanism.
+	for ; idx < len(blocked); idx++ {
+		host := blocked[idx]
+		assigned[host] = "BlockPage"
+		p.HTTP = append(p.HTTP, censor.HTTPRule{Host: host, Action: censor.HTTPBlockPage})
+	}
+	if _, ok := spec.Mix["DNSRedir"]; ok {
+		bp, err := w.AddBlockPageHost(isp, fmt.Sprintf("block.as%d.example", spec.ASN))
+		if err != nil {
+			return nil, nil, err
+		}
+		p.RedirectIP = bp.IP()
+	}
+	isp.Censor.SetPolicy(p)
+	return isp, assigned, nil
+}

@@ -1,0 +1,430 @@
+// Package worldgen builds the emulated internets the paper's evaluation
+// runs on: a censored client region (Pakistan in the case study), the
+// global infrastructure C-Saw depends on (public DNS, the global DB, an
+// ASN-echo service, a CDN front), the circumvention ecosystems (Tor relays
+// across the exit countries of Figure 1b, a Lantern trust graph, the static
+// proxies of Table 2 at their measured latencies), and per-experiment ISP
+// censor policies (Table 1's ISP-A/ISP-B, Figure 2's eight ASes).
+package worldgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/core"
+	"csaw/internal/dnsx"
+	"csaw/internal/globaldb"
+	"csaw/internal/httpx"
+	"csaw/internal/lantern"
+	"csaw/internal/netem"
+	"csaw/internal/proxynet"
+	"csaw/internal/tor"
+	"csaw/internal/vtime"
+	"csaw/internal/web"
+)
+
+// Addresses of the fixed infrastructure.
+const (
+	PublicDNSIP  = "8.8.8.8"
+	GlobalDBIP   = "40.0.0.1"
+	ASNEchoIP    = "40.0.0.2"
+	FrontIP      = "40.0.0.3"
+	FrontHost    = "front.cdn.example"
+	GlobalDBHost = "globaldb.example"
+)
+
+// StaticProxyLatencies are Table 2's measured ping latencies (RTT) from the
+// censored vantage point.
+var StaticProxyLatencies = map[string]time.Duration{
+	"UK":          228 * time.Millisecond,
+	"Netherlands": 172 * time.Millisecond,
+	"Japan":       387 * time.Millisecond,
+	"US-1":        329 * time.Millisecond,
+	"US-2":        429 * time.Millisecond,
+	"US-3":        160 * time.Millisecond,
+	"Germany-1":   309 * time.Millisecond,
+	"Germany-2":   174 * time.Millisecond,
+}
+
+// DirectRTT is the censored-region-to-content RTT; the paper measured
+// 186 ms ping latency to YouTube from the same location as Table 2.
+const DirectRTT = 186 * time.Millisecond
+
+// TorExitCountries hosts relays in the countries Figure 1b observed exits
+// in.
+var TorExitCountries = []string{"de", "fr", "nl", "ch", "cz", "ca", "jp", "us"}
+
+// ISP is a censoring provider in the client region.
+type ISP struct {
+	AS           *netem.AS
+	Censor       *censor.Censor
+	Resolver     *netem.Host
+	ResolverAddr string
+}
+
+// Options configures world construction.
+type Options struct {
+	// Scale is the virtual clock scale (default 300).
+	Scale float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Bandwidth is per-connection bytes/sec (default 512 KiB/s — a
+	// developing-region broadband link).
+	Bandwidth float64
+	// Jitter is the per-path jitter fraction (default 0.05).
+	Jitter float64
+	// Loss enables segment loss with the given probability.
+	Loss float64
+}
+
+// World is a built emulated internet.
+type World struct {
+	Clock    *vtime.Clock
+	Net      *netem.Network
+	Registry *dnsx.Registry
+
+	PublicDNSAddr string
+	GlobalDB      *globaldb.Server
+	GlobalDBAddr  string
+	ASNEchoAddr   string
+
+	TorDir  *tor.Directory
+	Lantern *lantern.Network
+	// StaticProxies maps Table-2 proxy names to dial addresses.
+	StaticProxies map[string]string
+
+	Front *web.Origin // the CDN/front origin (FrontHost + frontable sites)
+
+	ISPs map[string]*ISP
+
+	ipMu     sync.Mutex
+	ipSeq    int
+	relaySeq int
+}
+
+// New builds the fixed infrastructure of a world.
+func New(o Options) (*World, error) {
+	if o.Scale <= 0 {
+		o.Scale = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Bandwidth <= 0 {
+		o.Bandwidth = 512 << 10
+	}
+	clock := vtime.New(o.Scale)
+	n := netem.New(clock,
+		netem.WithSeed(o.Seed),
+		netem.WithBandwidth(o.Bandwidth),
+		netem.WithJitter(o.Jitter),
+		netem.WithLoss(o.Loss, 200*time.Millisecond),
+	)
+	w := &World{
+		Clock:         clock,
+		Net:           n,
+		Registry:      dnsx.NewRegistry(),
+		ISPs:          make(map[string]*ISP),
+		StaticProxies: make(map[string]string),
+	}
+
+	// Latency matrix. "pk" is the censored client region; "us" hosts the
+	// content origins; proxies sit at Table 2 distances from pk.
+	n.SetRTT("pk", "us", DirectRTT)
+	n.SetRTT("pk", "cloud", DirectRTT)
+	proxyLocs := map[string]string{}
+	for name, rtt := range StaticProxyLatencies {
+		loc := "proxy-" + name
+		proxyLocs[name] = loc
+		n.SetRTT("pk", loc, rtt)
+		n.SetRTT(loc, "us", 90*time.Millisecond)
+		n.SetRTT(loc, "cloud", 90*time.Millisecond)
+	}
+	// Tor relay geography is deliberately heterogeneous: real circuits vary
+	// widely in PLT, which is what makes racing redundant copies over
+	// separate circuits pay off (Figure 6a).
+	torPK := map[string]time.Duration{
+		"de": 150 * time.Millisecond, "fr": 170 * time.Millisecond,
+		"nl": 140 * time.Millisecond, "ch": 210 * time.Millisecond,
+		"cz": 270 * time.Millisecond, "ca": 330 * time.Millisecond,
+		"jp": 390 * time.Millisecond, "us": 280 * time.Millisecond,
+	}
+	torUS := map[string]time.Duration{
+		"de": 95 * time.Millisecond, "fr": 105 * time.Millisecond,
+		"nl": 90 * time.Millisecond, "ch": 115 * time.Millisecond,
+		"cz": 150 * time.Millisecond, "ca": 55 * time.Millisecond,
+		"jp": 170 * time.Millisecond, "us": 35 * time.Millisecond,
+	}
+	for i, cc := range TorExitCountries {
+		loc := "tor-" + cc
+		n.SetRTT("pk", loc, torPK[cc])
+		n.SetRTT(loc, "us", torUS[cc])
+		for j, cc2 := range TorExitCountries {
+			if cc != cc2 {
+				d := 40 + 35*absInt(i-j)
+				n.SetRTT("tor-"+cc, "tor-"+cc2, time.Duration(d)*time.Millisecond)
+			}
+		}
+	}
+	// Lantern volunteers are scattered; a representative detour distance.
+	n.SetRTT("pk", "lantern", 220*time.Millisecond)
+	n.SetRTT("lantern", "us", 110*time.Millisecond)
+	n.SetRTT("lantern", "cloud", 110*time.Millisecond)
+
+	cloud := n.AddAS(900, "CloudProvider", "US")
+
+	// Public DNS.
+	pub := n.MustAddHost("public-dns", PublicDNSIP, "us", cloud)
+	if _, err := dnsx.NewServer(pub, dnsx.AuthHandler(w.Registry, 300)); err != nil {
+		return nil, err
+	}
+	w.PublicDNSAddr = PublicDNSIP + ":53"
+
+	// Global DB (MongoLab/Heroku stand-in) on the cloud.
+	gh := n.MustAddHost("globaldb", GlobalDBIP, "cloud", cloud)
+	w.GlobalDB = globaldb.NewServer(clock, nil)
+	if err := w.GlobalDB.Attach(gh, 80); err != nil {
+		return nil, err
+	}
+	w.GlobalDBAddr = GlobalDBIP + ":80"
+	w.Registry.Set(GlobalDBHost, GlobalDBIP)
+
+	// ASN echo service.
+	eh := n.MustAddHost("asn-echo", ASNEchoIP, "cloud", cloud)
+	if err := web.ServeASNEcho(eh); err != nil {
+		return nil, err
+	}
+	w.ASNEchoAddr = ASNEchoIP + ":80"
+	w.Registry.Set("asn.echo", ASNEchoIP)
+
+	// CDN front: hosts FrontHost plus any site added with frontable=true.
+	fh := n.MustAddHost("cdn-front", FrontIP, "us", cloud)
+	frontSite := web.NewSite(FrontHost)
+	frontSite.AddPage("/", "CDN front", 1024)
+	front, err := web.NewOrigin(fh, frontSite)
+	if err != nil {
+		return nil, err
+	}
+	w.Front = front
+	w.Registry.Set(FrontHost, FrontIP)
+
+	// Tor: two relays per exit country, one guard+exit and one middle,
+	// plus two unlisted bridges (the §8 fallback for blacklisted entries).
+	lookup := w.RegistryLookup()
+	w.TorDir = tor.NewDirectory(clock, lookup)
+	for _, cc := range TorExitCountries {
+		for i := 0; i < 2; i++ {
+			h := n.MustAddHost(fmt.Sprintf("tor-%s-%d", cc, i), w.nextIP("20.1"), "tor-"+cc, cloud)
+			if _, err := w.TorDir.AddRelay(h, 10+float64(i)*5, i == 0, i == 0, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, cc := range []string{"nl", "de"} {
+		h := n.MustAddHost(fmt.Sprintf("tor-bridge-%d", i), w.nextIP("20.4"), "tor-"+cc, cloud)
+		if _, err := w.TorDir.AddRelay(h, 10, true, false, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lantern: a small trust community running proxies outside the region.
+	w.Lantern = lantern.New(lookup)
+	for i := 0; i < 3; i++ {
+		owner := fmt.Sprintf("volunteer-%d", i)
+		h := n.MustAddHost("lantern-"+owner, w.nextIP("20.2"), "lantern", cloud)
+		if _, err := w.Lantern.RunProxy(owner, h); err != nil {
+			return nil, err
+		}
+		w.Lantern.Befriend("user", owner)
+	}
+
+	// Static proxies at Table-2 latencies.
+	for name := range StaticProxyLatencies {
+		h := n.MustAddHost("proxy-"+name, w.nextIP("20.3"), proxyLocs[name], cloud)
+		srv, err := proxynet.Serve(h, proxynet.Port, lookup)
+		if err != nil {
+			return nil, err
+		}
+		w.StaticProxies[name] = srv.Addr()
+	}
+
+	return w, nil
+}
+
+// nextIP allocates addresses under a /16-style prefix. Deployment-scale
+// experiments create client hosts from many goroutines.
+func (w *World) nextIP(prefix string) string {
+	w.ipMu.Lock()
+	defer w.ipMu.Unlock()
+	w.ipSeq++
+	return fmt.Sprintf("%s.%d.%d", prefix, w.ipSeq/200, 1+w.ipSeq%200)
+}
+
+// RegistryLookup resolves via the honest registry — the view of resolvers
+// and exits outside the censored region.
+func (w *World) RegistryLookup() proxynet.Lookup {
+	return func(_ context.Context, host string) (string, error) {
+		if ips := w.Registry.Lookup(host); len(ips) > 0 {
+			return ips[0], nil
+		}
+		return "", fmt.Errorf("worldgen: unknown host %q", host)
+	}
+}
+
+// AddISP creates a censoring provider in the client region: an AS with the
+// censor attached and an in-ISP resolver enforcing the DNS policy.
+func (w *World) AddISP(asn int, name string, policy *censor.Policy) (*ISP, error) {
+	as := w.Net.AddAS(asn, name, "PK")
+	cen := censor.New(policy)
+	cen.Attach(as)
+	resolver := w.Net.MustAddHost(
+		fmt.Sprintf("resolver-%s", name), w.nextIP("10.53"), "pk", as)
+	if _, err := dnsx.NewServer(resolver, cen.ResolverHandler(w.Registry, 300)); err != nil {
+		return nil, err
+	}
+	isp := &ISP{AS: as, Censor: cen, Resolver: resolver, ResolverAddr: resolver.IP() + ":53"}
+	w.ISPs[name] = isp
+	return isp, nil
+}
+
+// AddOrigin creates an origin host in "us" serving the given sites and
+// registers their DNS. frontable also mounts the sites on the CDN front so
+// domain fronting can reach them.
+func (w *World) AddOrigin(name string, frontable bool, sites ...*web.Site) (*web.Origin, error) {
+	h := w.Net.MustAddHost(name, w.nextIP("93.184"), "us", w.Net.AS(900))
+	origin, err := web.NewOrigin(h, sites...)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sites {
+		w.Registry.Set(s.Host, h.IP())
+		if frontable {
+			w.Front.AddSite(s)
+		}
+	}
+	return origin, nil
+}
+
+// AddBlockPageHost runs an in-ISP block-page server and returns its host.
+// The policy's BlockPageURL should point at it. Like real filter portals,
+// it answers *every* request (any Host, any path) with the block page — a
+// DNS-redirected request for an arbitrary URL must still land on the
+// notice.
+func (w *World) AddBlockPageHost(isp *ISP, hostname string) (*netem.Host, error) {
+	h := w.Net.MustAddHost(hostname, w.nextIP("10.9"), "pk", isp.AS)
+	w.Registry.Set(hostname, h.IP())
+	l, err := h.Listen(80)
+	if err != nil {
+		return nil, err
+	}
+	httpx.Serve(l, httpx.HandlerFunc(func(*httpx.Request, netem.Flow) *httpx.Response {
+		resp := httpx.NewResponse(200, []byte(censor.DefaultBlockPageHTML))
+		resp.Header.Set("Content-Type", "text/html")
+		return resp
+	}))
+	return h, nil
+}
+
+// NewClientHost adds a client machine in the censored region behind the
+// given ISPs (more than one = multihomed).
+func (w *World) NewClientHost(name string, isps ...*ISP) *netem.Host {
+	ases := make([]*netem.AS, len(isps))
+	for i, isp := range isps {
+		ases[i] = isp.AS
+	}
+	return w.Net.MustAddHost(name, w.nextIP("10.0"), "pk", ases...)
+}
+
+// Frontable reports whether the CDN front serves a host.
+func (w *World) Frontable(host string) bool {
+	for _, h := range w.Front.Hosts() {
+		if h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// Approaches assembles the full circumvention toolbox for a client host:
+// all four local fixes plus Tor, Lantern, and one static proxy.
+func (w *World) Approaches(host *netem.Host, torSeed int64) []*core.Approach {
+	ldns, gdns := w.Resolvers(host)
+	tc := tor.NewClient(host, w.TorDir, torSeed)
+	tcBridge := tor.NewClient(host, w.TorDir, torSeed+101)
+	lc := lantern.NewClient(host, w.Lantern, "user")
+	apps := []*core.Approach{
+		core.PublicDNSFix(host, w.Clock, gdns),
+		core.HTTPSFix(host, w.Clock, ldns, gdns),
+		core.NewFrontingFix(host, w.Clock, FrontHost, FrontIP, w.Frontable),
+		core.IPAsHostnameFix(host, w.Clock, gdns),
+		core.TorApproach(tc, w.Clock),
+		core.TorBridgeApproach(tcBridge, w.Clock),
+		core.LanternApproach(lc, w.Clock),
+	}
+	if addr, ok := w.StaticProxies["Netherlands"]; ok {
+		apps = append(apps, core.StaticProxyApproach("proxy-Netherlands", host, w.Clock, addr))
+	}
+	return apps
+}
+
+// Resolvers builds the LDNS (first ISP's resolver) and GDNS stub clients
+// for a client host.
+func (w *World) Resolvers(host *netem.Host) (ldns, gdns *dnsx.Client) {
+	ldnsAddrs := w.LDNSAddrs(host)
+	ldns = &dnsx.Client{Dial: host.Dial, Clock: w.Clock, Servers: ldnsAddrs}
+	gdns = &dnsx.Client{Dial: host.Dial, Clock: w.Clock, Servers: []string{w.PublicDNSAddr}}
+	return ldns, gdns
+}
+
+// LDNSAddrs returns the resolver addresses of the host's ISPs.
+func (w *World) LDNSAddrs(host *netem.Host) []string {
+	var addrs []string
+	for _, as := range host.ASes() {
+		for _, isp := range w.ISPs {
+			if isp.AS == as {
+				addrs = append(addrs, isp.ResolverAddr)
+			}
+		}
+	}
+	return addrs
+}
+
+// ClientConfig assembles a core.Config with the world's full toolbox and
+// global DB wiring. Callers adjust knobs (P, Copies, Serial, ...) before
+// core.New.
+func (w *World) ClientConfig(host *netem.Host, seed int64) core.Config {
+	tc := tor.NewClient(host, w.TorDir, seed+7)
+	gdb := &globaldb.Client{
+		Addr:       w.GlobalDBAddr,
+		Host:       GlobalDBHost,
+		Clock:      w.Clock,
+		ReportDial: tc.Dial, // censorship reports travel over Tor (§5)
+		FetchDial:  host.Dial,
+		// Generous: deployment-scale experiments sync hundreds of clients
+		// against one server host.
+		Timeout: 4 * time.Minute,
+	}
+	return core.Config{
+		Host:         host,
+		Clock:        w.Clock,
+		LDNS:         w.LDNSAddrs(host),
+		GDNS:         []string{w.PublicDNSAddr},
+		Approaches:   w.Approaches(host, seed),
+		GlobalDB:     gdb,
+		CaptchaToken: "human-" + host.Name(),
+		ASNProbeAddr: w.ASNEchoAddr,
+		ASNProbeHost: "asn.echo",
+		Seed:         seed,
+	}
+}
+
+// absInt returns |x|.
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
