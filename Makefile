@@ -1,0 +1,28 @@
+# Verification gates (see README "Verification gates").
+#
+#   make tier1   — the tier-1 gate: build + full test suite
+#   make vet     — static analysis
+#   make race    — full test suite under the race detector
+#   make check   — vet + race (the pre-merge gate alongside tier1)
+
+GO ?= go
+
+.PHONY: all build test tier1 vet race check
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race

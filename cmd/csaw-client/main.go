@@ -72,22 +72,35 @@ func main() {
 		case line == "!stats":
 			for _, k := range []string{"served-direct", "served-circum", "served-blockpage",
 				"phase2-confirm", "phase2-overturn", "refresh", "explore", "failover",
-				"reports-posted", "direct-remeasure", "false-report-corrected"} {
+				"reports-posted", "direct-remeasure", "false-report-corrected",
+				"sync-ok", "sync-failures", "sync-retries", "sync-skipped", "sync-partial",
+				"sync-fetch-failures", "sync-report-deferred",
+				"sync-circuit-open", "sync-circuit-close"} {
 				if v := client.Counter(k); v > 0 {
 					fmt.Printf("  %-24s %d\n", k, v)
 				}
 			}
+			if client.Degraded() {
+				fmt.Println("  MODE: local-only (sync circuit open)")
+			}
 		case line == "!sync":
 			client.WaitIdle() // let in-flight measurements land first
-			if err := client.SyncNow(context.Background()); err != nil {
+			err := client.SyncNow(context.Background())
+			st := client.SyncStats()
+			if err != nil {
 				fmt.Println("  sync failed:", err)
 			} else {
 				fmt.Printf("  synced; %d globally-known blocked URLs for this AS\n", client.GlobalCacheLen())
 			}
+			fmt.Printf("  rounds ok=%d failed=%d retried=%d skipped=%d partial=%d posted=%d deferred=%d degraded=%v\n",
+				st.OK, st.Failures, st.Retries, st.Skipped, st.Partial, st.Posted, st.Deferred, st.Degraded)
+			if st.LastError != "" {
+				fmt.Printf("  last error: %s\n", st.LastError)
+			}
 		default:
 			res := client.FetchURL(context.Background(), line)
-			if res.Err != nil {
-				fmt.Printf("  ERROR %v\n", res.Err)
+			if !res.OK() {
+				fmt.Printf("  ERROR status=%s err=%v\n", res.Status, res.Err)
 				continue
 			}
 			fmt.Printf("  %d bytes via %-16s status=%-12s took=%.2fs stages=%v\n",

@@ -92,6 +92,11 @@ type Config struct {
 	// detects it (ablation).
 	NoMultihoming bool
 
+	// Sync tunes the fault tolerance of the global-DB sync pipeline
+	// (retry/backoff, report-queue bounds, circuit breaker). The zero value
+	// selects the documented defaults.
+	Sync SyncPolicy
+
 	Pref  Preference
 	Trust globaldb.TrustFilter
 	Seed  int64
@@ -123,6 +128,13 @@ type Client struct {
 	seenASNs    map[int]bool
 	multihomed  bool
 	counters    map[string]int
+
+	// Sync circuit-breaker state (guarded by mu).
+	syncFails    int // consecutive failed rounds
+	syncDegraded bool
+	syncOpenUntil time.Time
+	lastSyncErr  error
+	lastSyncOK   time.Time
 
 	bg     sync.WaitGroup // in-flight background measurements/reports
 	loops  sync.WaitGroup // periodic sync and probe loops

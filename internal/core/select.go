@@ -64,10 +64,13 @@ func (c *Client) pick(n int) int {
 
 // bestByEWMA returns the candidate with the lowest moving-average PLT for
 // this URL. Untried approaches score zero (optimistic), so each gets tried
-// before the averages take over.
+// before the averages take over; ties among them break randomly — a strict
+// "<" would always elect the first untried candidate in config order and
+// the others would never get their §4.3.2 exploration turn.
 func (c *Client) bestByEWMA(url string, candidates []*Approach) *Approach {
-	best := candidates[0]
+	var best *Approach
 	bestVal := math.Inf(1)
+	ties := 0
 	for _, a := range candidates {
 		v := 0.0 // optimistic default for the untried
 		if e := c.ewmaFor(a, url, false); e != nil {
@@ -75,8 +78,16 @@ func (c *Client) bestByEWMA(url string, candidates []*Approach) *Approach {
 				v = val
 			}
 		}
-		if v < bestVal {
-			best, bestVal = a, v
+		switch {
+		case best == nil || v < bestVal:
+			best, bestVal, ties = a, v, 1
+		case v == bestVal:
+			// Reservoir-sample among equals so each tied candidate is
+			// equally likely to be picked.
+			ties++
+			if c.pick(ties) == 0 {
+				best = a
+			}
 		}
 	}
 	return best

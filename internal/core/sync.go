@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,9 +46,7 @@ func (c *Client) startLoops() {
 			for {
 				select {
 				case <-tk.C:
-					ctx, cancel := c.clock.WithTimeout(context.Background(), interval)
-					_ = c.SyncNow(ctx)
-					cancel()
+					c.syncWithRetry(interval)
 				case <-c.stop:
 					return
 				}
@@ -77,33 +77,150 @@ func (c *Client) startLoops() {
 	}
 }
 
+// syncWithRetry drives one background round: a failed round is retried with
+// exponential backoff and jitter (in virtual time, so virtual-time tests
+// stay deterministic) until it succeeds, the retry budget is spent, the
+// circuit breaker opens, or the client stops.
+func (c *Client) syncWithRetry(timeout time.Duration) {
+	pol := c.cfg.Sync
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := c.clock.WithTimeout(context.Background(), timeout)
+		err := c.SyncNow(ctx)
+		cancel()
+		if err == nil || errors.Is(err, ErrSyncDegraded) || attempt >= pol.retries() {
+			return
+		}
+		c.bump("sync-retries")
+		select {
+		case <-c.clock.After(pol.Backoff(attempt, c.roll())):
+		case <-c.stop:
+			return
+		}
+	}
+}
+
 // SyncNow runs one synchronization round: post pending blocked records
 // (over the report path — Tor in a full deployment) and refresh the local
-// copy of the global blocked list for every AS the client uses.
+// copy of the global blocked list for every AS the client uses. Failures
+// are partial, not total: an acknowledged report batch stays acknowledged
+// (never re-posted), and a failed per-AS fetch keeps that AS's stale cache
+// entries instead of discarding what other ASes returned. While the circuit
+// breaker is open SyncNow returns ErrSyncDegraded without touching the
+// network.
 func (c *Client) SyncNow(ctx context.Context) error {
 	g := c.cfg.GlobalDB
 	if g == nil {
 		return nil
 	}
-	pending := c.db.PendingGlobal()
-	if len(pending) > 0 {
-		if _, err := g.Report(ctx, pending); err != nil {
-			return err
+	if !c.syncAdmit() {
+		c.bump("sync-skipped")
+		return ErrSyncDegraded
+	}
+	err := c.syncRound(ctx)
+	c.syncFinish(err)
+	return err
+}
+
+// syncAdmit decides whether a round may run: always while the breaker is
+// closed, and one half-open probe once the open-state cooldown has passed.
+func (c *Client) syncAdmit() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.syncDegraded {
+		return true
+	}
+	return !c.clock.Now().Before(c.syncOpenUntil)
+}
+
+// syncFinish folds a round's outcome into the failure counters and the
+// circuit breaker.
+func (c *Client) syncFinish(err error) {
+	pol := c.cfg.Sync
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		c.syncFails = 0
+		c.lastSyncErr = nil
+		c.lastSyncOK = c.clock.Now()
+		c.counters["sync-ok"]++
+		if c.syncDegraded {
+			// Half-open probe succeeded: close the circuit, leave
+			// local-only mode.
+			c.syncDegraded = false
+			c.counters["sync-circuit-close"]++
 		}
-		for _, r := range pending {
+		return
+	}
+	c.syncFails++
+	c.lastSyncErr = err
+	c.counters["sync-failures"]++
+	if after := pol.breakerAfter(); after > 0 && c.syncFails >= after {
+		if !c.syncDegraded {
+			c.syncDegraded = true
+			c.counters["sync-circuit-open"]++
+		}
+		c.syncOpenUntil = c.clock.Now().Add(pol.breakerReset())
+	}
+}
+
+// syncRound does the actual report + fetch work of one round.
+func (c *Client) syncRound(ctx context.Context) error {
+	g := c.cfg.GlobalDB
+	pol := c.cfg.Sync
+	var errs []error
+
+	// Report phase. The pending queue is bounded: a round takes on at most
+	// MaxPending records (overflow stays safely in the local_DB and is
+	// counted), posted oldest-first in MaxBatch batches. A record is marked
+	// posted only after the server acknowledged its batch, so a failed
+	// batch is retried later rather than lost, and an acknowledged one is
+	// never re-posted.
+	pending := c.db.PendingGlobal()
+	sort.SliceStable(pending, func(i, j int) bool {
+		return pending[i].Measured.Before(pending[j].Measured)
+	})
+	if over := len(pending) - pol.maxPending(); over > 0 {
+		if pol.DropOldest {
+			pending = pending[over:]
+		} else {
+			pending = pending[:pol.maxPending()]
+		}
+		c.mu.Lock()
+		c.counters["sync-report-deferred"] += over
+		c.mu.Unlock()
+	}
+	for len(pending) > 0 {
+		batch := pending
+		if len(batch) > pol.maxBatch() {
+			batch = batch[:pol.maxBatch()]
+		}
+		if _, err := g.Report(ctx, batch); err != nil {
+			errs = append(errs, fmt.Errorf("report (%d pending): %w", len(pending), err))
+			break
+		}
+		for _, r := range batch {
 			c.db.MarkPosted(r.URL)
 		}
 		c.mu.Lock()
-		c.counters["reports-posted"] += len(pending)
+		c.counters["reports-posted"] += len(batch)
 		c.mu.Unlock()
+		pending = pending[len(batch):]
 	}
 
+	// Fetch phase, independently per AS: one provider's failure must not
+	// discard what the others returned.
 	fresh := make(map[string]globaldb.Entry)
+	failedAS := make(map[int]bool)
+	fetchedOK := 0
 	for _, as := range c.cfg.Host.ASes() {
 		entries, err := g.FetchBlocked(ctx, as.Number)
 		if err != nil {
-			return err
+			failedAS[as.Number] = true
+			errs = append(errs, fmt.Errorf("fetch AS%d: %w", as.Number, err))
+			c.bump("sync-fetch-failures")
+			continue
 		}
+		fetchedOK++
 		for _, e := range entries {
 			if !c.cfg.Trust.Trusted(e) {
 				continue
@@ -117,9 +234,26 @@ func (c *Client) SyncNow(ctx context.Context) error {
 		}
 	}
 	c.mu.Lock()
+	if len(failedAS) > 0 {
+		// Keep the stale view for the ASes we could not refresh; serving
+		// yesterday's blocked list beats forgetting it (§5 resilience).
+		for url, e := range c.globalCache {
+			if !failedAS[e.ASN] {
+				continue
+			}
+			if prev, ok := fresh[url]; ok {
+				fresh[url] = mergeEntries(prev, e)
+			} else {
+				fresh[url] = e
+			}
+		}
+		if fetchedOK > 0 {
+			c.counters["sync-partial"]++
+		}
+	}
 	c.globalCache = fresh
 	c.mu.Unlock()
-	return nil
+	return errors.Join(errs...)
 }
 
 // mergeEntries unions two entries' stages.
@@ -148,6 +282,36 @@ func (c *Client) GlobalCacheLen() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.globalCache)
+}
+
+// Degraded reports whether the sync circuit breaker has dropped the client
+// into local-only mode (stale global cache, no DB traffic).
+func (c *Client) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncDegraded
+}
+
+// SyncStats snapshots the sync pipeline's health counters.
+func (c *Client) SyncStats() SyncStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := SyncStats{
+		Posted:              c.counters["reports-posted"],
+		OK:                  c.counters["sync-ok"],
+		Failures:            c.counters["sync-failures"],
+		Retries:             c.counters["sync-retries"],
+		Skipped:             c.counters["sync-skipped"],
+		Partial:             c.counters["sync-partial"],
+		Deferred:            c.counters["sync-report-deferred"],
+		ConsecutiveFailures: c.syncFails,
+		Degraded:            c.syncDegraded,
+		LastSuccess:         c.lastSyncOK,
+	}
+	if c.lastSyncErr != nil {
+		st.LastError = c.lastSyncErr.Error()
+	}
+	return st
 }
 
 // ProbeASN asks the ASN-echo service which AS this connection egressed

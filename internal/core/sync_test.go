@@ -1,0 +1,276 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"csaw/internal/core"
+	"csaw/internal/globaldb"
+	"csaw/internal/localdb"
+	"csaw/internal/netem"
+	"csaw/internal/worldgen"
+)
+
+// newSyncWorld builds a world plus a client whose background loops stay
+// quiet (hour-long sync interval, no ASN probe) so tests drive SyncNow
+// deterministically. It also returns the client's globaldb handle and host
+// so tests can register and seed the DB directly.
+func newSyncWorld(t *testing.T, mutate func(*core.Config), isps ...string) (*worldgen.World, *core.Client, *globaldb.Client, *netem.Host) {
+	t.Helper()
+	var gdb *globaldb.Client
+	var host *netem.Host
+	w, c := newCaseStudyClient(t, func(cfg *core.Config) {
+		cfg.SyncInterval = time.Hour
+		cfg.ASNProbeAddr = ""
+		if mutate != nil {
+			mutate(cfg)
+		}
+		gdb = cfg.GlobalDB
+		host = cfg.Host
+	}, isps...)
+	return w, c, gdb, host
+}
+
+func TestSyncPartialASFailure(t *testing.T) {
+	// A multihomed client keeps the reachable AS's fresh list AND the failed
+	// AS's stale entries when one per-AS fetch dies mid-round.
+	w, c, _, host := newSyncWorld(t, nil, "ISP-A", "ISP-B")
+	ctx := context.Background()
+
+	// Seed the DB with one entry per AS via a direct reporter.
+	seeder := &globaldb.Client{
+		Addr: w.GlobalDBAddr, Host: worldgen.GlobalDBHost,
+		Clock: w.Clock, ReportDial: host.Dial, FetchDial: host.Dial,
+	}
+	if err := seeder.Register(ctx, "human-seeder"); err != nil {
+		t.Fatal(err)
+	}
+	asA, asB := 17557, 38193
+	if _, err := seeder.Report(ctx, []localdb.Record{
+		{URL: "a.example/", ASN: asA, Status: localdb.Blocked, Stages: []localdb.Stage{{Type: localdb.BlockDNS}}},
+		{URL: "b.example/", ASN: asB, Status: localdb.Blocked, Stages: []localdb.Stage{{Type: localdb.BlockHTTP, Detail: "blockpage"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("healthy sync: %v", err)
+	}
+	if n := c.GlobalCacheLen(); n != 2 {
+		t.Fatalf("cache = %d entries after healthy sync, want 2", n)
+	}
+
+	// Fail only AS-B fetches: the round errors but keeps both the fresh
+	// AS-A list and AS-B's stale entry.
+	w.GlobalDB.Faults().SetPathFilter(fmt.Sprintf("asn=%d", asB))
+	w.GlobalDB.Faults().SetOutage(true)
+	err := c.SyncNow(ctx)
+	if err == nil || errors.Is(err, core.ErrSyncDegraded) {
+		t.Fatalf("partial failure should surface an error, got %v", err)
+	}
+	if n := c.GlobalCacheLen(); n != 2 {
+		t.Fatalf("cache = %d entries after partial failure, want 2 (stale AS-B entry kept)", n)
+	}
+	st := c.SyncStats()
+	if st.Partial != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v, want Partial=1 Failures=1", st)
+	}
+	if c.Counter("sync-fetch-failures") != 1 {
+		t.Fatalf("sync-fetch-failures = %d, want 1", c.Counter("sync-fetch-failures"))
+	}
+
+	// Recovery clears the error path and refreshes everything.
+	w.GlobalDB.Faults().SetOutage(false)
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("sync after recovery: %v", err)
+	}
+	if st := c.SyncStats(); st.LastError != "" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+func TestSyncCircuitBreaker(t *testing.T) {
+	// Consecutive failures open the breaker (local-only mode, no network
+	// traffic); after the reset window a half-open probe closes it again,
+	// and no pending report is lost or double-posted across the outage.
+	w, c, gdb, _ := newSyncWorld(t, func(cfg *core.Config) {
+		cfg.Sync = core.SyncPolicy{Retries: -1, BreakerAfter: 2, BreakerReset: 10 * time.Minute}
+	}, "ISP-A")
+	ctx := context.Background()
+	if err := gdb.Register(ctx, "human-test"); err != nil {
+		t.Fatal(err)
+	}
+	c.DB().Put("blocked.example/", 17557, localdb.Blocked, []localdb.Stage{{Type: localdb.BlockDNS}})
+
+	w.GlobalDB.Faults().SetOutage(true)
+	for i := 0; i < 2; i++ {
+		if err := c.SyncNow(ctx); err == nil {
+			t.Fatalf("sync %d succeeded during outage", i)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatal("breaker still closed after BreakerAfter failures")
+	}
+	injected := w.GlobalDB.Faults().Injected()
+	if err := c.SyncNow(ctx); !errors.Is(err, core.ErrSyncDegraded) {
+		t.Fatalf("open-breaker sync = %v, want ErrSyncDegraded", err)
+	}
+	if got := w.GlobalDB.Faults().Injected(); got != injected {
+		t.Fatalf("open breaker still generated traffic (%d → %d requests faulted)", injected, got)
+	}
+	if c.Counter("sync-skipped") != 1 {
+		t.Fatalf("sync-skipped = %d, want 1", c.Counter("sync-skipped"))
+	}
+
+	// The outage ends; after the reset window a half-open probe recovers.
+	w.GlobalDB.Faults().SetOutage(false)
+	if err := c.SyncNow(ctx); !errors.Is(err, core.ErrSyncDegraded) {
+		t.Fatalf("pre-window sync = %v, want still degraded", err)
+	}
+	w.Clock.Advance(11 * time.Minute)
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if c.Degraded() {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if c.Counter("sync-circuit-open") != 1 || c.Counter("sync-circuit-close") != 1 {
+		t.Fatalf("breaker counters open=%d close=%d, want 1/1",
+			c.Counter("sync-circuit-open"), c.Counter("sync-circuit-close"))
+	}
+
+	// Exactly-once across the outage: the one pending report was posted
+	// once, and nothing is pending anymore.
+	if up := w.GlobalDB.StatsSnapshot().Updates; up != 1 {
+		t.Fatalf("server updates = %d, want exactly 1 across the outage", up)
+	}
+	if left := len(c.DB().PendingGlobal()); left != 0 {
+		t.Fatalf("%d reports still pending after recovery", left)
+	}
+}
+
+func TestSyncBatchingAndOverflow(t *testing.T) {
+	// MaxPending bounds a round's report intake (overflow deferred, not
+	// lost); MaxBatch splits the posts; every record is posted exactly once.
+	w, c, gdb, _ := newSyncWorld(t, func(cfg *core.Config) {
+		cfg.Sync = core.SyncPolicy{MaxBatch: 2, MaxPending: 3}
+	}, "ISP-A")
+	ctx := context.Background()
+	if err := gdb.Register(ctx, "human-test"); err != nil {
+		t.Fatal(err)
+	}
+	const total = 5
+	for i := 0; i < total; i++ {
+		c.DB().Put(fmt.Sprintf("blocked-%d.example/", i), 17557, localdb.Blocked,
+			[]localdb.Stage{{Type: localdb.BlockDNS}})
+	}
+
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("first round: %v", err)
+	}
+	if st := c.SyncStats(); st.Posted != 3 || st.Deferred != 2 {
+		t.Fatalf("stats after first round = %+v, want Posted=3 Deferred=2", st)
+	}
+	if left := len(c.DB().PendingGlobal()); left != 2 {
+		t.Fatalf("pending after first round = %d, want 2", left)
+	}
+
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("second round: %v", err)
+	}
+	if st := c.SyncStats(); st.Posted != total {
+		t.Fatalf("posted = %d, want %d", st.Posted, total)
+	}
+	if up := w.GlobalDB.StatsSnapshot().Updates; up != total {
+		t.Fatalf("server updates = %d, want %d (each record exactly once)", up, total)
+	}
+}
+
+func TestSyncReportFailureRetriesNextRound(t *testing.T) {
+	// A failed Report leaves its records pending; the next round posts them
+	// without double-posting anything already acknowledged.
+	w, c, gdb, _ := newSyncWorld(t, func(cfg *core.Config) {
+		cfg.Sync = core.SyncPolicy{MaxBatch: 2, Retries: -1}
+	}, "ISP-A")
+	ctx := context.Background()
+	if err := gdb.Register(ctx, "human-test"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.DB().Put(fmt.Sprintf("blocked-%d.example/", i), 17557, localdb.Blocked,
+			[]localdb.Stage{{Type: localdb.BlockDNS}})
+	}
+	if err := c.SyncNow(ctx); err != nil { // warm-up round with no faults
+		t.Fatalf("warm-up: %v", err)
+	}
+	if up := w.GlobalDB.StatsSnapshot().Updates; up != 4 {
+		t.Fatalf("updates = %d, want 4", up)
+	}
+
+	// Now 2 fresh records, and the very next report post fails.
+	c.DB().Put("late-0.example/", 17557, localdb.Blocked, []localdb.Stage{{Type: localdb.BlockDNS}})
+	c.DB().Put("late-1.example/", 17557, localdb.Blocked, []localdb.Stage{{Type: localdb.BlockDNS}})
+	w.GlobalDB.Faults().SetPathFilter(globaldb.PathReport)
+	w.GlobalDB.Faults().FailNext(1)
+	if err := c.SyncNow(ctx); err == nil {
+		t.Fatal("round with failed report returned nil")
+	}
+	if left := len(c.DB().PendingGlobal()); left != 2 {
+		t.Fatalf("pending after failed report = %d, want 2 (kept for retry)", left)
+	}
+	if err := c.SyncNow(ctx); err != nil {
+		t.Fatalf("retry round: %v", err)
+	}
+	if up := w.GlobalDB.StatsSnapshot().Updates; up != 6 {
+		t.Fatalf("updates = %d, want 6 (no loss, no double-post)", up)
+	}
+}
+
+func TestSyncBackgroundRetryRecovers(t *testing.T) {
+	// The background loop retries a failed round with backoff instead of
+	// dropping the error on the floor (the old `_ = c.SyncNow(ctx)`).
+	w, c := newCaseStudyClient(t, func(cfg *core.Config) {
+		cfg.SyncInterval = 30 * time.Second // 100ms real at scale 300
+		cfg.ASNProbeAddr = ""
+		cfg.Sync = core.SyncPolicy{Retries: 2, BackoffBase: 2 * time.Second, BackoffMax: 5 * time.Second}
+	}, "ISP-A")
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The next round's first fetch fails; its in-loop retry must recover.
+	w.GlobalDB.Faults().SetPathFilter("asn=")
+	w.GlobalDB.Faults().FailNext(1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := c.SyncStats()
+		if st.Retries >= 1 && st.OK >= 2 && !st.Degraded && st.ConsecutiveFailures == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("background retry never recovered: %+v", c.SyncStats())
+}
+
+func TestSyncBackoffSchedule(t *testing.T) {
+	p := core.SyncPolicy{BackoffBase: time.Second, BackoffMax: 8 * time.Second, JitterFrac: 0.5}
+	for i, want := range []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second,
+	} {
+		if got := p.Backoff(i, 0); got != want {
+			t.Errorf("Backoff(%d, 0) = %v, want %v", i, got, want)
+		}
+	}
+	// Full jitter extends by JitterFrac of the delay.
+	if got := p.Backoff(1, 1.0); got != 3*time.Second {
+		t.Errorf("Backoff(1, 1.0) = %v, want 3s", got)
+	}
+	// Zero policy uses the documented defaults.
+	var zero core.SyncPolicy
+	if got := zero.Backoff(0, 0); got != core.DefaultSyncBackoffBase {
+		t.Errorf("zero policy base = %v", got)
+	}
+}

@@ -129,6 +129,7 @@ func All() []Runner {
 		{"ablation-multihoming", "Ablation: multihoming adaptation", AblationMultihoming},
 		{"ablation-explore", "Ablation: exploration cadence n", AblationExplore},
 		{"ablation-fingerprint", "Ablation: censor-visible request footprint (§8)", AblationFingerprint},
+		{"sync-fault", "Sync convergence under global-DB outages", SyncFault},
 	}
 }
 

@@ -41,3 +41,5 @@ func smoke(t *testing.T, id string, runs int) {
 }
 
 func TestSmokeAbl5(t *testing.T) { smoke(t, "ablation-fingerprint", 3) }
+
+func TestSmokeSyncFault(t *testing.T) { smoke(t, "sync-fault", 3) }

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/core"
+	"csaw/internal/metrics"
+	"csaw/internal/netem"
+	"csaw/internal/worldgen"
+)
+
+// SyncFault measures how the client↔global_DB sync pipeline behaves when
+// the DB goes dark (§5: the censor may block the DB itself, and censored
+// links are flaky). A fleet of clients measures a blocked URL, then the DB
+// suffers a full outage: the clients' circuit breakers must open (no more
+// traffic burned against a dead server), the pending reports must survive
+// locally, and after the outage ends one half-open probe round must
+// reconverge everyone — each report posted exactly once, none lost. A final
+// client exercises the in-loop retry/backoff path across a transient
+// glitch.
+func SyncFault(o Options) (*Result, error) {
+	w, err := o.world(500)
+	if err != nil {
+		return nil, err
+	}
+	ispA, _, err := w.CaseStudy()
+	if err != nil {
+		return nil, err
+	}
+	ispA.Censor.SetPolicy(&censor.Policy{
+		DNS: map[string]censor.DNSAction{"youtube.com": censor.DNSNXDomain},
+	})
+	ctx := context.Background()
+	faults := w.GlobalDB.Faults()
+	nClients := o.runs(4)
+
+	const breakerAfter = 3
+	var clients []*core.Client
+	for i := 0; i < nClients; i++ {
+		host := w.NewClientHost(fmt.Sprintf("sf-user-%d", i), ispA)
+		cfg := w.ClientConfig(host, o.seed()+int64(i))
+		cfg.SyncInterval = time.Hour // rounds driven explicitly below
+		cfg.ASNProbeAddr = ""
+		cfg.Sync = core.SyncPolicy{
+			Retries:      -1, // isolate the breaker from in-round retries
+			BreakerAfter: breakerAfter,
+			BreakerReset: 10 * time.Minute,
+		}
+		cl, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		if err := cl.Start(ctx); err != nil {
+			return nil, fmt.Errorf("sync-fault: client %d start: %w", i, err)
+		}
+		clients = append(clients, cl)
+	}
+
+	// Each client measures the blocked URL once → one pending report each.
+	for _, cl := range clients {
+		_ = cl.FetchURL(ctx, worldgen.YouTubeHost+"/")
+		cl.WaitIdle()
+	}
+	pendingBefore := 0
+	for _, cl := range clients {
+		pendingBefore += len(cl.DB().PendingGlobal())
+	}
+	updatesBefore := w.GlobalDB.StatsSnapshot().Updates
+
+	// The DB goes dark. Clients keep trying until their breakers open, then
+	// go local-only; further rounds must not reach the network at all.
+	faults.SetOutage(true)
+	for _, cl := range clients {
+		for r := 0; r < breakerAfter; r++ {
+			if err := cl.SyncNow(ctx); err == nil {
+				return nil, fmt.Errorf("sync-fault: sync succeeded during outage")
+			}
+		}
+		if !cl.Degraded() {
+			return nil, fmt.Errorf("sync-fault: breaker closed after %d failed rounds", breakerAfter)
+		}
+	}
+	faultedAtOpen := faults.Injected()
+	skipped := 0
+	for _, cl := range clients {
+		for r := 0; r < 3; r++ {
+			if err := cl.SyncNow(ctx); !errors.Is(err, core.ErrSyncDegraded) {
+				return nil, fmt.Errorf("sync-fault: open-breaker round returned %v", err)
+			}
+			skipped++
+		}
+	}
+	if got := faults.Injected(); got != faultedAtOpen {
+		return nil, fmt.Errorf("sync-fault: open breakers still sent %d requests", got-faultedAtOpen)
+	}
+
+	// Outage ends; after the reset window every client's half-open probe
+	// must reconverge it in a single round.
+	faults.SetOutage(false)
+	outageEnd := w.Clock.Now()
+	w.Clock.Advance(11 * time.Minute)
+	for i, cl := range clients {
+		if err := cl.SyncNow(ctx); err != nil {
+			return nil, fmt.Errorf("sync-fault: client %d recovery round: %w", i, err)
+		}
+		if cl.Degraded() {
+			return nil, fmt.Errorf("sync-fault: client %d still degraded after recovery", i)
+		}
+	}
+	convergence := w.Clock.Now().Sub(outageEnd)
+
+	// Invariants: every pending report posted exactly once, none left, and
+	// everyone's global cache now lists the blocked URL.
+	updatesAfter := w.GlobalDB.StatsSnapshot().Updates
+	posted := updatesAfter - updatesBefore
+	pendingAfter, converged := 0, 0
+	for _, cl := range clients {
+		pendingAfter += len(cl.DB().PendingGlobal())
+		if cl.GlobalCacheLen() > 0 {
+			converged++
+		}
+	}
+	if posted != pendingBefore {
+		return nil, fmt.Errorf("sync-fault: %d reports pending before the outage but %d updates after (lost or double-posted)", pendingBefore, posted)
+	}
+	if pendingAfter != 0 {
+		return nil, fmt.Errorf("sync-fault: %d reports still pending after recovery", pendingAfter)
+	}
+	if converged != nClients {
+		return nil, fmt.Errorf("sync-fault: only %d/%d clients see the blocked list", converged, nClients)
+	}
+	for _, cl := range clients {
+		cl.Close() // quiesce phase-A loops before the retry-path client runs
+	}
+
+	// Transient-glitch path: the link to the DB flaps (two dropped connects
+	// at the emulated ISP egress); a background-loop client rides it out
+	// purely on in-loop retry/backoff, never tripping its breaker.
+	host := w.NewClientHost("sf-retry-user", ispA)
+	cfg := w.ClientConfig(host, o.seed()+100)
+	cfg.ASNProbeAddr = ""
+	cfg.SyncInterval = 2 * time.Minute
+	cfg.Sync = core.SyncPolicy{Retries: 3, BackoffBase: 5 * time.Second, BackoffMax: 20 * time.Second}
+	rc, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	if err := rc.Start(ctx); err != nil {
+		return nil, fmt.Errorf("sync-fault: retry client start: %w", err)
+	}
+	link := w.InjectLinkFault(ispA, worldgen.GlobalDBIP)
+	link.SetVerdict(netem.VerdictReset)
+	link.FailNext(2)
+	deadline := time.Now().Add(20 * time.Second)
+	var rst core.SyncStats
+	for time.Now().Before(deadline) {
+		rst = rc.SyncStats()
+		if rst.Retries >= 1 && rst.OK >= 2 && rst.ConsecutiveFailures == 0 {
+			break
+		}
+		w.Clock.Sleep(10 * time.Second)
+	}
+	if rst.Retries < 1 || rst.OK < 2 || rst.Degraded {
+		return nil, fmt.Errorf("sync-fault: retry path never recovered: %+v", rst)
+	}
+
+	res := &Result{ID: "sync-fault", Title: "Sync convergence under global-DB outages"}
+	tbl := metrics.Table{Headers: []string{"quantity", "value"}}
+	tbl.AddRow("clients", fmt.Sprintf("%d", nClients))
+	tbl.AddRow("reports pending at outage start", fmt.Sprintf("%d", pendingBefore))
+	tbl.AddRow("reports posted after recovery", fmt.Sprintf("%d", posted))
+	tbl.AddRow("reports lost", "0")
+	tbl.AddRow("reports double-posted", "0")
+	tbl.AddRow("faulted requests until breakers opened", fmt.Sprintf("%d", faultedAtOpen))
+	tbl.AddRow("rounds skipped while open (no traffic)", fmt.Sprintf("%d", skipped))
+	tbl.AddRow("reconvergence after outage (virtual)", fmtDur(convergence))
+	tbl.AddRow("transient glitch: in-loop retries", fmt.Sprintf("%d", rst.Retries))
+	res.Text = tbl.String()
+	res.Metric("clients", float64(nClients))
+	res.Metric("reports.pending", float64(pendingBefore))
+	res.Metric("reports.posted", float64(posted))
+	res.Metric("reports.lost", float64(pendingBefore-posted+pendingAfter))
+	res.Metric("breaker.faulted_until_open", float64(faultedAtOpen))
+	res.Metric("breaker.skipped_rounds", float64(skipped))
+	res.Metric("convergence_s", convergence.Seconds())
+	res.Metric("retry.in_loop_retries", float64(rst.Retries))
+	res.Note("the breaker caps wasted traffic at BreakerAfter×(ASes+report batches) requests per client; everything pending rides out the outage in the local_DB and posts exactly once on recovery")
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package globaldb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"csaw/internal/localdb"
+)
+
+func TestRegistrationMapSwept(t *testing.T) {
+	// One-shot registrants must not leak regByIP entries forever: after the
+	// sliding rate-limit window passes, a sweep drops their IPs.
+	n, srv, mk := gdbWorld(t)
+	const oneShots = 40
+	for i := 0; i < oneShots; i++ {
+		c := mk(fmt.Sprintf("one-shot-%d", i), fmt.Sprintf("10.0.1.%d", i+1))
+		register(t, c)
+	}
+	srv.mu.Lock()
+	before := len(srv.regByIP)
+	srv.mu.Unlock()
+	if before != oneShots {
+		t.Fatalf("regByIP = %d entries, want %d", before, oneShots)
+	}
+
+	// All 40 windows expire; the next registration triggers the sweep.
+	n.Clock().Advance(2 * time.Hour)
+	late := mk("late-comer", "10.0.2.1")
+	register(t, late)
+
+	srv.mu.Lock()
+	after := len(srv.regByIP)
+	srv.mu.Unlock()
+	if after > 1 {
+		t.Fatalf("regByIP = %d entries after sweep, want just the fresh registrant", after)
+	}
+}
+
+func TestFaultInjectionOutage(t *testing.T) {
+	_, srv, mk := gdbWorld(t)
+	c := mk("u1", "10.0.0.1")
+	register(t, c)
+	if _, err := c.Report(context.Background(), []localdb.Record{
+		blockedRec("x.example/", 100, localdb.BlockDNS, "nxdomain"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Faults().SetOutage(true)
+	if _, err := c.FetchBlocked(context.Background(), 100); err == nil {
+		t.Fatal("fetch succeeded during injected outage")
+	}
+	if _, err := c.Report(context.Background(), []localdb.Record{
+		blockedRec("y.example/", 100, localdb.BlockDNS, ""),
+	}); err == nil {
+		t.Fatal("report succeeded during injected outage")
+	}
+	if srv.Faults().Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", srv.Faults().Injected())
+	}
+
+	srv.Faults().SetOutage(false)
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("after recovery: entries=%+v err=%v", entries, err)
+	}
+}
+
+func TestFaultInjectionFailNextAndFilter(t *testing.T) {
+	_, srv, mk := gdbWorld(t)
+	c := mk("u1", "10.0.0.1")
+	register(t, c)
+
+	// FailNext: exactly the next n matching requests fail.
+	srv.Faults().FailNext(1)
+	if _, err := c.FetchBlocked(context.Background(), 100); err == nil {
+		t.Fatal("first fetch should hit the injected fault")
+	}
+	if _, err := c.FetchBlocked(context.Background(), 100); err != nil {
+		t.Fatalf("second fetch should heal: %v", err)
+	}
+
+	// A path filter narrows the outage to one AS's fetches.
+	srv.Faults().SetPathFilter("asn=200")
+	srv.Faults().SetOutage(true)
+	if _, err := c.FetchBlocked(context.Background(), 100); err != nil {
+		t.Fatalf("AS-100 fetch must pass the asn=200 filter: %v", err)
+	}
+	if _, err := c.FetchBlocked(context.Background(), 200); err == nil {
+		t.Fatal("AS-200 fetch should fail under the filtered outage")
+	}
+}
+
+func TestFaultInjectionDropTimesOut(t *testing.T) {
+	// Drop mode: the server says nothing, so the client runs into its own
+	// (virtual-time) timeout rather than seeing a 503.
+	n, srv, mk := gdbWorld(t)
+	c := mk("u1", "10.0.0.1")
+	c.Timeout = 5 * time.Second // keep the virtual wait short
+	register(t, c)
+	srv.Faults().SetDrop(true)
+	srv.Faults().SetOutage(true)
+	start := n.Clock().Now()
+	if _, err := c.FetchBlocked(context.Background(), 100); err == nil {
+		t.Fatal("fetch succeeded during silent outage")
+	}
+	if waited := n.Clock().Now().Sub(start); waited < 4*time.Second {
+		t.Fatalf("silent drop failed after only %v of virtual time, want a timeout", waited)
+	}
+}

@@ -32,14 +32,16 @@ const RegistrationRateLimit = 5
 type Server struct {
 	clock   *vtime.Clock
 	captcha CaptchaVerifier
+	faults  FaultPolicy
 
-	mu      sync.Mutex
-	uuidSeq uint64
-	clients map[string]map[string]*clientReport // uuid → "url|asn" → report
-	users   map[string]bool                     // registered uuids
-	regByIP map[string][]time.Time              // registration times per source IP
-	updates int
-	revoked map[string]bool
+	mu           sync.Mutex
+	uuidSeq      uint64
+	clients      map[string]map[string]*clientReport // uuid → "url|asn" → report
+	users        map[string]bool                     // registered uuids
+	regByIP      map[string][]time.Time              // registration times per source IP
+	lastRegSweep time.Time
+	updates      int
+	revoked      map[string]bool
 }
 
 type clientReport struct {
@@ -56,14 +58,19 @@ func NewServer(clock *vtime.Clock, captcha CaptchaVerifier) *Server {
 		captcha = DefaultCaptcha
 	}
 	return &Server{
-		clock:   clock,
-		captcha: captcha,
-		clients: make(map[string]map[string]*clientReport),
-		users:   make(map[string]bool),
-		regByIP: make(map[string][]time.Time),
-		revoked: make(map[string]bool),
+		clock:        clock,
+		captcha:      captcha,
+		clients:      make(map[string]map[string]*clientReport),
+		users:        make(map[string]bool),
+		regByIP:      make(map[string][]time.Time),
+		lastRegSweep: clock.Now(),
+		revoked:      make(map[string]bool),
 	}
 }
+
+// Faults exposes the server's fault-injection policy (experiments flip it
+// at runtime to model outages and flaky paths).
+func (s *Server) Faults() *FaultPolicy { return &s.faults }
 
 // Attach starts serving the API on host:port over plain HTTP.
 func (s *Server) Attach(host *netem.Host, port int) error {
@@ -80,6 +87,9 @@ func (s *Server) Attach(host *netem.Host, port int) error {
 // global_DB is countered by moving it).
 func (s *Server) Handler() httpx.Handler {
 	return httpx.HandlerFunc(func(req *httpx.Request, flow netem.Flow) *httpx.Response {
+		if resp, fired := s.faults.intercept(req); fired {
+			return resp // nil = say nothing; the client times out
+		}
 		path := req.Target
 		if i := strings.IndexByte(path, '?'); i >= 0 {
 			path = path[:i]
@@ -117,6 +127,7 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	now := s.clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepRegLocked(now)
 	// Rate-limit registrations per source IP (sliding hour). The IP is used
 	// only for this in-memory counter and never stored with measurements.
 	recent := s.regByIP[srcIP][:0]
@@ -139,6 +150,33 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	uuid := fmt.Sprintf("%016x", h.Sum64())
 	s.users[uuid] = true
 	return jsonResponse(200, RegisterResponse{UUID: uuid})
+}
+
+// regSweepInterval bounds how often the full regByIP map is pruned.
+const regSweepInterval = time.Hour
+
+// sweepRegLocked drops source IPs whose registration timestamps have all
+// aged out of the sliding rate-limit window. Without it, an IP that
+// registers once and never again would keep its map entry forever — at the
+// paper's millions-of-users scale that is an unbounded leak. Amortized to
+// one O(#IPs) pass per regSweepInterval. Caller holds s.mu.
+func (s *Server) sweepRegLocked(now time.Time) {
+	if now.Sub(s.lastRegSweep) < regSweepInterval {
+		return
+	}
+	s.lastRegSweep = now
+	for ip, times := range s.regByIP {
+		live := false
+		for _, t := range times {
+			if now.Sub(t) < time.Hour {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(s.regByIP, ip)
+		}
+	}
 }
 
 func (s *Server) handleReport(req *httpx.Request) *httpx.Response {

@@ -290,6 +290,20 @@ func (w *World) AddISP(asn int, name string, policy *censor.Policy) (*ISP, error
 	return isp, nil
 }
 
+// InjectLinkFault wraps an ISP's egress with a netem.FaultInjector chained
+// in front of its censor, targeted at the given destination IPs (none = all
+// egress traffic). The returned injector flaps the link at runtime —
+// experiments use it to make the path to the global DB (or anything else)
+// come and go.
+func (w *World) InjectLinkFault(isp *ISP, ips ...string) *netem.FaultInjector {
+	fi := netem.NewFaultInjector(isp.AS.Interceptor())
+	if len(ips) > 0 {
+		fi.Target(ips...)
+	}
+	isp.AS.SetInterceptor(fi)
+	return fi
+}
+
 // AddOrigin creates an origin host in "us" serving the given sites and
 // registers their DNS. frontable also mounts the sites on the CDN front so
 // domain fronting can reach them.
