@@ -1,13 +1,14 @@
 # Verification gates (see README "Verification gates").
 #
 #   make tier1   — the tier-1 gate: build + full test suite
-#   make vet     — static analysis
+#   make vet     — static analysis (go vet)
+#   make lint    — csaw-lint: the simulation-invariant analyzers
 #   make race    — full test suite under the race detector
-#   make check   — vet + race (the pre-merge gate alongside tier1)
+#   make check   — vet + race + lint (the pre-merge gate alongside tier1)
 
 GO ?= go
 
-.PHONY: all build test tier1 vet race check
+.PHONY: all build test tier1 vet lint race check
 
 all: tier1
 
@@ -22,7 +23,10 @@ tier1: build test
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/csaw-lint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet race lint

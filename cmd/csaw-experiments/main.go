@@ -53,9 +53,10 @@ func main() {
 	}
 
 	opts := experiments.Options{Runs: *runs, Scale: *scale, Seed: *seed}
+	fmt.Printf("seed: %d\n\n", *seed)
 	failed := 0
 	for _, r := range selected {
-		start := time.Now()
+		start := time.Now() //lint:allow-realtime reporting wall-clock runtime to the operator
 		res, err := r.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "!! %s failed: %v\n", r.ID, err)
@@ -63,6 +64,7 @@ func main() {
 			continue
 		}
 		fmt.Println(res.Render())
+		//lint:allow-realtime reporting wall-clock runtime to the operator
 		fmt.Printf("(%s finished in %.1fs wall)\n\n", r.ID, time.Since(start).Seconds())
 	}
 	if failed > 0 {

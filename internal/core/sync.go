@@ -67,7 +67,11 @@ func (c *Client) startLoops() {
 				select {
 				case <-tk.C:
 					ctx, cancel := c.clock.WithTimeout(context.Background(), interval)
-					_ = c.ProbeASN(ctx)
+					if err := c.ProbeASN(ctx); err != nil {
+						// A failed probe postpones multihoming detection; it
+						// must show up in the counters, not vanish.
+						c.bump("asn-probe-failures")
+					}
 					cancel()
 				case <-c.stop:
 					return

@@ -204,7 +204,9 @@ func AblationMultihoming(o Options) (*Result, error) {
 		defer cl.Close()
 		// Let the probe discover multihoming first.
 		for i := 0; i < 20 && !cl.Multihomed(); i++ {
-			_ = cl.ProbeASN(context.Background())
+			if err := cl.ProbeASN(context.Background()); err != nil {
+				return 0, nil, fmt.Errorf("ablation: ASN probe: %w", err)
+			}
 		}
 		dist = metrics.NewDistribution()
 		for r := 0; r < accesses; r++ {

@@ -122,7 +122,10 @@ func Table2(o Options) (*Result, error) {
 	sort.Strings(names)
 	const pings = 5
 	for _, name := range names {
-		ip, _, _ := netem.SplitAddr(w.StaticProxies[name])
+		ip, _, err := netem.SplitAddr(w.StaticProxies[name])
+		if err != nil {
+			return nil, fmt.Errorf("table2: proxy %s address: %w", name, err)
+		}
 		var sum time.Duration
 		for i := 0; i < pings; i++ {
 			rtt, err := w.Net.Ping(client, ip)

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestSameSeedSameSummary is the repo's determinism gate: running an
+// experiment twice with the same seed must render byte-identical summaries.
+// This is what the csaw-lint analyzers (vtimecheck, randdet) exist to
+// protect — any wall-clock read or process-global rand draw on these paths
+// shows up here as a flaky diff.
+//
+// The experiments chosen report categorical or count-valued results
+// (mechanism matrices, record counts, classifier rates). Experiments whose
+// tables include *measured virtual durations* (e.g. table2's pings) are
+// reproducible in shape but not byte-identical: vtime.Clock measures
+// elapsed real time scaled into the virtual frame, so scheduler jitter
+// leaks into the least-significant digits by design (see DESIGN.md,
+// "Determinism: time and randomness discipline").
+func TestSameSeedSameSummary(t *testing.T) {
+	for _, id := range []string{"classifier", "table1", "figure6b"} {
+		t.Run(id, func(t *testing.T) {
+			r := Find(id)
+			if r == nil {
+				t.Fatalf("no runner %s", id)
+			}
+			const seed = 7
+			first, err := r.Run(Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s run 1: %v", id, err)
+			}
+			second, err := r.Run(Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s run 2: %v", id, err)
+			}
+			if a, b := first.Render(), second.Render(); a != b {
+				t.Errorf("%s: same seed, different summaries\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, a, b)
+			}
+		})
+	}
+}

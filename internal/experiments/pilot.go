@@ -264,8 +264,10 @@ func Wild(o Options) (*Result, error) {
 		defer cl.Close()
 		clients = append(clients, cl)
 	}
-	browseAll := func() {
+	browseAll := func() error {
 		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var syncErr error
 		for _, cl := range clients {
 			wg.Add(1)
 			go func(cl *core.Client) {
@@ -273,14 +275,26 @@ func Wild(o Options) (*Result, error) {
 				_ = cl.FetchURL(context.Background(), "twitter.example/")
 				_ = cl.FetchURL(context.Background(), "instagram.example/")
 				cl.WaitIdle()
-				_ = cl.SyncNow(context.Background())
+				// The timeline below asserts on global-DB state, so a
+				// failed round would surface as a confusing assertion
+				// miss; fail fast instead.
+				if err := cl.SyncNow(context.Background()); err != nil {
+					mu.Lock()
+					if syncErr == nil {
+						syncErr = err
+					}
+					mu.Unlock()
+				}
 			}(cl)
 		}
 		wg.Wait()
+		return syncErr
 	}
 
 	// Nov 25, morning: everything reachable.
-	browseAll()
+	if err := browseAll(); err != nil {
+		return nil, fmt.Errorf("wild: morning sync: %w", err)
+	}
 	if st := w.GlobalDB.StatsSnapshot(); st.BlockedURLs != 0 {
 		return nil, fmt.Errorf("wild: pre-event blocked URLs = %d, want 0", st.BlockedURLs)
 	}
@@ -292,7 +306,9 @@ func Wild(o Options) (*Result, error) {
 	isps[1].Censor.SetPolicy(&censor.Policy{HTTP: []censor.HTTPRule{{Host: "twitter.example", Action: censor.HTTPBlockPage}}, BlockPageURL: "block.as17557.pk/", BlockPageHTML: nil})
 	_ = bp
 	sleepUntil(w, 25, 13, 30)
-	browseAll()
+	if err := browseAll(); err != nil {
+		return nil, fmt.Errorf("wild: post-block sync: %w", err)
+	}
 
 	// Early Nov 26: Instagram gets DNS-blocked on three ASes.
 	sleepUntil(w, 26, 4, 45)
@@ -305,7 +321,9 @@ func Wild(o Options) (*Result, error) {
 		isps[i].Censor.SetPolicy(np)
 	}
 	sleepUntil(w, 26, 4, 50)
-	browseAll()
+	if err := browseAll(); err != nil {
+		return nil, fmt.Errorf("wild: post-DNS-block sync: %w", err)
+	}
 
 	// Render the timeline from the global DB, as §7.5 lists it.
 	res := &Result{ID: "wild", Title: "Blocking events observed via the global DB (Nov 25-26, 2017)"}

@@ -157,9 +157,9 @@ func SyncFault(o Options) (*Result, error) {
 	link := w.InjectLinkFault(ispA, worldgen.GlobalDBIP)
 	link.SetVerdict(netem.VerdictReset)
 	link.FailNext(2)
-	deadline := time.Now().Add(20 * time.Second)
+	deadline := w.Clock.Now().Add(30 * time.Minute)
 	var rst core.SyncStats
-	for time.Now().Before(deadline) {
+	for w.Clock.Now().Before(deadline) {
 		rst = rc.SyncStats()
 		if rst.Retries >= 1 && rst.OK >= 2 && rst.ConsecutiveFailures == 0 {
 			break

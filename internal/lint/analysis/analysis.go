@@ -1,0 +1,263 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The module deliberately has no external dependencies, so the official
+// framework is unavailable; this package keeps its shape (Analyzer, Pass,
+// Reportf) so the csaw-lint analyzers read like ordinary go/analysis
+// analyzers and could be ported to the real framework mechanically.
+//
+// On top of the x/tools vocabulary it adds the two pieces of policy the
+// simulation's invariants need: per-analyzer path allowlists (whole
+// packages or single files exempt from a check, e.g. internal/vtime for
+// vtimecheck) and //lint:allow-<keyword> <reason> suppression directives
+// for individually justified exceptions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "vtimecheck").
+	Name string
+	// Doc is the one-paragraph description shown by csaw-lint -list.
+	Doc string
+	// Suppress is the //lint:allow-<Suppress> directive keyword that
+	// silences this analyzer's diagnostics for one line or declaration.
+	// Empty means the analyzer cannot be suppressed inline.
+	Suppress string
+	// Run inspects one package and reports diagnostics via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Config is the repo policy applied by Run: which paths are exempt from
+// which analyzers.
+type Config struct {
+	// ModuleRoot is the absolute module directory; allowlist entries are
+	// matched against file paths relative to it. Load fills it in.
+	ModuleRoot string
+	// Allow maps an analyzer name to slash-separated path prefixes
+	// (relative to ModuleRoot) exempt from that analyzer. An entry ending
+	// in "/" exempts a directory tree; otherwise it exempts the exact
+	// file or the directory of that name.
+	Allow map[string][]string
+}
+
+// allowed reports whether relpath is exempt from the named analyzer.
+func (c *Config) allowed(analyzer, relpath string) bool {
+	if c == nil {
+		return false
+	}
+	for _, pre := range c.Allow[analyzer] {
+		if relpath == pre || strings.HasPrefix(relpath, strings.TrimSuffix(pre, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Rel returns path relative to the module root, slash-separated.
+func (c *Config) Rel(path string) string {
+	if c == nil || c.ModuleRoot == "" {
+		return path
+	}
+	return strings.TrimPrefix(path, strings.TrimSuffix(c.ModuleRoot, "/")+"/")
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Suppression directives and the config
+// allowlist are applied here, and malformed directives (unknown keyword,
+// missing reason) are themselves reported so the escape hatch stays
+// auditable.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	keywords := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			keywords[a.Suppress] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := scanDirectives(pkg, keywords)
+		for i := range bad {
+			bad[i].Pos.Filename = cfg.Rel(bad[i].Pos.Filename)
+		}
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				rel := cfg.Rel(d.Pos.Filename)
+				if cfg.allowed(a.Name, rel) {
+					return
+				}
+				if a.Suppress != "" && sup.covers(a.Suppress, d.Pos) {
+					return
+				}
+				d.Pos.Filename = rel
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// DirectivePrefix introduces a suppression comment:
+// //lint:allow-<keyword> <reason>.
+const DirectivePrefix = "//lint:allow-"
+
+// suppressions records, per file, which lines and declaration ranges each
+// keyword covers.
+type suppressions struct {
+	// lines maps keyword -> filename -> set of covered lines. A directive
+	// on line L covers diagnostics on L and L+1 (same-line and
+	// preceding-line placement).
+	lines map[string]map[string]map[int]bool
+	// spans maps keyword -> filename -> covered [start,end] line ranges
+	// (directives in a declaration's doc comment cover the whole decl).
+	spans map[string]map[string][][2]int
+}
+
+func (s *suppressions) add(kw, file string, line int) {
+	if s.lines[kw] == nil {
+		s.lines[kw] = make(map[string]map[int]bool)
+	}
+	if s.lines[kw][file] == nil {
+		s.lines[kw][file] = make(map[int]bool)
+	}
+	s.lines[kw][file][line] = true
+}
+
+func (s *suppressions) addSpan(kw, file string, start, end int) {
+	if s.spans[kw] == nil {
+		s.spans[kw] = make(map[string][][2]int)
+	}
+	s.spans[kw][file] = append(s.spans[kw][file], [2]int{start, end})
+}
+
+func (s *suppressions) covers(kw string, pos token.Position) bool {
+	if lines := s.lines[kw][pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
+		return true
+	}
+	for _, span := range s.spans[kw][pos.Filename] {
+		if pos.Line >= span[0] && pos.Line <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirectives collects //lint:allow-* directives from a package and
+// reports malformed ones. A directive in a top-level declaration's doc
+// comment covers the whole declaration; anywhere else it covers its own
+// line and the next.
+func scanDirectives(pkg *Package, keywords map[string]bool) (*suppressions, []Diagnostic) {
+	sup := &suppressions{
+		lines: make(map[string]map[string]map[int]bool),
+		spans: make(map[string]map[string][][2]int),
+	}
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{Analyzer: "lintdirective", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		docs := make(map[*ast.CommentGroup][2]int) // doc group -> decl line span
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docs[doc] = [2]int{pkg.Fset.Position(decl.Pos()).Line, pkg.Fset.Position(decl.End()).Line}
+			}
+		}
+		for _, cg := range f.Comments {
+			span, isDoc := docs[cg]
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				kw, reason, _ := strings.Cut(rest, " ")
+				if !keywords[kw] {
+					report(pos, "unknown suppression keyword %q in %s", kw, c.Text)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					report(pos, "suppression %s%s needs a reason", DirectivePrefix, kw)
+					continue
+				}
+				if isDoc {
+					sup.addSpan(kw, pos.Filename, span[0], span[1])
+				} else {
+					sup.add(kw, pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFuncRef resolves a qualified reference pkg.Name (where pkg is an
+// imported package name) to the referenced object and the package's
+// import path. It returns ok=false for anything else — in particular for
+// selections on values, so a local variable shadowing a package name
+// never matches.
+func (p *Pass) PkgFuncRef(sel *ast.SelectorExpr) (obj types.Object, path string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return nil, "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return nil, "", false
+	}
+	obj = p.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, pn.Imported().Path(), true
+}
+
+// Callee resolves the *types.Func a call invokes (package function,
+// method, or qualified function), or nil for indirect calls through
+// function values and type conversions.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// ErrorResultIndexes returns the positions of error-typed results in the
+// callee's signature (nil if none).
+func ErrorResultIndexes(sig *types.Signature) []int {
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, okN := res.At(i).Type().(*types.Named); okN &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load parses and type-checks the module packages matching the go
+// patterns (e.g. "./..."), rooted at dir (""= current directory).
+//
+// There is no golang.org/x/tools dependency to lean on, so dependencies
+// are not type-checked from source: `go list -export` compiles the whole
+// dependency graph into the build cache and hands back compiler export
+// data, which the stdlib gc importer reads. Only the packages being
+// analyzed are parsed; everything they import — stdlib and module
+// packages alike — is loaded from export data. cgo is disabled so every
+// dependency has a pure-Go, exportable build.
+func Load(dir string, patterns ...string) ([]*Package, *Config, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t.ImportPath] = true
+	}
+	universe, err := goList(dir, append([]string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error", "-deps"}, patterns...))
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := make(map[string]*listPkg, len(universe))
+	var modRoot string
+	for _, p := range universe {
+		meta[p.ImportPath] = p
+		if p.Module != nil && p.Module.Dir != "" {
+			modRoot = p.Module.Dir
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{fset: fset, meta: meta, loaded: make(map[string]*types.Package)}
+	var pkgs []*Package
+	for _, p := range universe {
+		if !want[p.ImportPath] {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typeCheck(fset, p, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, &Config{ModuleRoot: modRoot}, nil
+}
+
+// goList runs a go list invocation and decodes its JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// cgo off: every package must have pure-Go export data (see Load).
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args[:2], " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ParseAndCheck parses the given files as one package and type-checks it
+// against export data resolved through `go list` run in dir. It backs the
+// golden-test harness, which checks testdata packages that are not part
+// of the module proper.
+func ParseAndCheck(dir, importPath string, files []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	imports := make(map[string]bool)
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+		for _, spec := range af.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	meta := make(map[string]*listPkg)
+	if len(imports) > 0 {
+		args := []string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error", "-deps"}
+		for imp := range imports {
+			args = append(args, imp)
+		}
+		universe, err := goList(dir, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range universe {
+			meta[p.ImportPath] = p
+		}
+	}
+	imp := &exportImporter{fset: fset, meta: meta, loaded: make(map[string]*types.Package)}
+	return typeCheckFiles(fset, importPath, dir, asts, imp)
+}
+
+// typeCheck parses a listed package's files and type-checks them.
+func typeCheck(fset *token.FileSet, p *listPkg, imp types.Importer) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	pkg, err := typeCheckFiles(fset, p.ImportPath, p.Dir, asts, imp)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func typeCheckFiles(fset *token.FileSet, importPath, dir string, asts []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter satisfies types.Importer by reading compiler export data
+// located via `go list -export`.
+type exportImporter struct {
+	fset   *token.FileSet
+	meta   map[string]*listPkg
+	loaded map[string]*types.Package
+	gc     types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.loaded[path]; ok {
+		return p, nil
+	}
+	if e.gc == nil {
+		e.gc = importer.ForCompiler(e.fset, "gc", func(path string) (io.ReadCloser, error) {
+			m, ok := e.meta[path]
+			if !ok || m.Export == "" {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(m.Export)
+		})
+	}
+	pkg, err := e.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	e.loaded[path] = pkg
+	return pkg, nil
+}

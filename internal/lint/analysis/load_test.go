@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, cfg, err := Load("", "csaw/internal/globaldb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "csaw/internal/globaldb" {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || !p.Types.Complete() {
+		t.Fatal("package not type-checked")
+	}
+	if cfg.ModuleRoot == "" {
+		t.Fatal("module root not detected")
+	}
+	// Objects imported from export data must carry positions: errdrop
+	// scopes core's sync functions by declaring file.
+	core := p.Types.Imports()
+	_ = core
+	obj := p.Types.Scope().Lookup("FaultPolicy")
+	if obj == nil {
+		t.Fatal("FaultPolicy not found")
+	}
+	pos := p.Fset.Position(obj.Pos())
+	if !strings.HasSuffix(pos.Filename, "faults.go") {
+		t.Errorf("FaultPolicy declared at %q, want faults.go", pos.Filename)
+	}
+}
+
+func TestImportedObjectPositions(t *testing.T) {
+	pkgs, _, err := Load("", "csaw/internal/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corePkg *types.Package
+	for _, imp := range pkgs[0].Types.Imports() {
+		if imp.Path() == "csaw/internal/core" {
+			corePkg = imp
+		}
+	}
+	if corePkg == nil {
+		t.Fatal("experiments does not import core")
+	}
+	obj := corePkg.Scope().Lookup("New")
+	if obj == nil {
+		t.Fatal("core.New not found via export data")
+	}
+	pos := pkgs[0].Fset.Position(obj.Pos())
+	t.Logf("core.New declared at %v", pos)
+	if !strings.HasSuffix(pos.Filename, "client.go") {
+		t.Errorf("core.New position %q does not point at client.go", pos.Filename)
+	}
+}

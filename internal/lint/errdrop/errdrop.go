@@ -1,0 +1,148 @@
+// Package errdrop flags discarded errors from the sync-critical call
+// surface: the globaldb and netem packages and the sync functions of
+// internal/core (everything declared in internal/core/sync.go). Those
+// errors feed the sync failure counters and the circuit breaker — a
+// dropped one is a sync outage the stats never see, which is exactly the
+// failure mode the PR-1 fault-tolerance work exists to surface.
+//
+// Both spellings of discarding are flagged: a bare call statement and a
+// blank assignment (_ = f(), v, _ := f() at the error position), plus
+// go/defer statements whose call returns an error nobody can observe.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"csaw/internal/lint/analysis"
+)
+
+// scopePkgs are the packages whose every error-returning function is in
+// scope.
+var scopePkgs = map[string]bool{
+	"csaw/internal/globaldb": true,
+	"csaw/internal/netem":    true,
+}
+
+// scopeFiles maps a package to the declaring files whose functions are in
+// scope (for packages only partially sync-critical).
+var scopeFiles = map[string]map[string]bool{
+	"csaw/internal/core": {"sync.go": true},
+}
+
+// Analyzer is the errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errdrop",
+	Doc:      "flag discarded errors (_ = and bare calls) from core/sync, globaldb and netem functions; those errors feed the sync failure counters",
+	Suppress: "droperr",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if fn := inScope(pass, call); fn != nil {
+						pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or annotate //lint:allow-droperr <reason>", fnName(fn))
+					}
+				}
+			case *ast.GoStmt:
+				if fn := inScope(pass, s.Call); fn != nil {
+					pass.Reportf(s.Pos(), "go %s discards the call's error; wrap it in a closure that records the failure", fnName(fn))
+				}
+			case *ast.DeferStmt:
+				if fn := inScope(pass, s.Call); fn != nil {
+					pass.Reportf(s.Pos(), "defer %s discards the call's error; wrap it in a closure that records the failure", fnName(fn))
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags blank-assigned error results of in-scope calls.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	// Tuple form: a, _ := f()
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := scoped(pass, call)
+		if fn == nil {
+			return
+		}
+		for _, i := range analysis.ErrorResultIndexes(fn.Type().(*types.Signature)) {
+			if i < len(s.Lhs) && isBlank(s.Lhs[i]) {
+				pass.Reportf(s.Lhs[i].Pos(), "error result of %s assigned to _; handle it or annotate //lint:allow-droperr <reason>", fnName(fn))
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), x, _ = f(), g()
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) || !isBlank(s.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn := inScope(pass, call); fn != nil {
+			pass.Reportf(s.Lhs[i].Pos(), "error result of %s assigned to _; handle it or annotate //lint:allow-droperr <reason>", fnName(fn))
+		}
+	}
+}
+
+// inScope resolves the call's callee and reports it if it is a
+// sync-critical function returning at least one error.
+func inScope(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := scoped(pass, call)
+	if fn == nil {
+		return nil
+	}
+	if len(analysis.ErrorResultIndexes(fn.Type().(*types.Signature))) == 0 {
+		return nil
+	}
+	return fn
+}
+
+// scoped reports whether the callee belongs to the sync-critical surface.
+func scoped(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if scopePkgs[path] {
+		return fn
+	}
+	files := scopeFiles[path]
+	if files == nil {
+		return nil
+	}
+	pos := pass.Fset.Position(fn.Pos())
+	if !files[filepath.Base(pos.Filename)] {
+		return nil
+	}
+	return fn
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func fnName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return types.TypeString(recv.Type(), types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

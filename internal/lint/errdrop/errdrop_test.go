@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/errdrop"
+	"csaw/internal/lint/linttest"
+)
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata", "c", nil)
+}

@@ -1,0 +1,59 @@
+// Package c exercises errdrop: dropped errors from the sync-critical
+// surface (globaldb, netem, and core's sync.go functions) are flagged in
+// every discarding spelling; handled errors and out-of-scope callees are
+// not.
+package c
+
+import (
+	"context"
+	"strconv"
+
+	"csaw/internal/core"
+	"csaw/internal/globaldb"
+	"csaw/internal/netem"
+)
+
+func bareCalls(ctx context.Context, g *globaldb.Client) {
+	g.Register(ctx, "tok") // want `\*Client\.Register returns an error that is silently dropped`
+	g.Report(ctx, nil)     // want `\*Client\.Report returns an error that is silently dropped`
+}
+
+func blankAssigns(ctx context.Context, g *globaldb.Client, h *netem.Host) {
+	_ = g.Register(ctx, "tok") // want `error result of \*Client\.Register assigned to _`
+	_, _ = g.Report(ctx, nil)  // want `error result of \*Client\.Report assigned to _`
+	n, _ := g.Report(ctx, nil) // want `error result of \*Client\.Report assigned to _`
+	_ = n
+	_, _ = h.Listen(80) // want `error result of \*Host\.Listen assigned to _`
+}
+
+func goAndDefer(ctx context.Context, g *globaldb.Client) {
+	go g.Register(ctx, "tok")    // want `go \*Client\.Register discards the call's error`
+	defer g.Register(ctx, "tok") // want `defer \*Client\.Register discards the call's error`
+}
+
+func coreSyncScope(ctx context.Context, c *core.Client) {
+	_ = c.ProbeASN(ctx) // want `error result of \*Client\.ProbeASN assigned to _`
+	c.SyncNow(ctx)      // want `\*Client\.SyncNow returns an error that is silently dropped`
+}
+
+func outOfScope(ctx context.Context) {
+	// core.New is declared in client.go, not sync.go: not sync-critical.
+	cl, _ := core.New(core.Config{})
+	_ = cl
+	// strconv is nowhere near the scope.
+	_, _ = strconv.Atoi("7")
+	_ = ctx.Err()
+}
+
+func handled(ctx context.Context, g *globaldb.Client) error {
+	if err := g.Register(ctx, "tok"); err != nil {
+		return err
+	}
+	n, err := g.Report(ctx, nil)
+	_ = n
+	return err
+}
+
+func suppressed(ctx context.Context, c *core.Client) {
+	_ = c.ProbeASN(ctx) //lint:allow-droperr best-effort probe, failure is benign
+}

@@ -1,0 +1,57 @@
+// Package lint assembles the csaw-lint analyzer suite and the repository
+// policy (allowlists) it runs under. The analyzers machine-check the
+// simulation's determinism invariants:
+//
+//   - vtimecheck: all timing flows through internal/vtime
+//   - randdet: all randomness comes from seeded *rand.Rand sources
+//   - errdrop: sync-critical errors are never silently dropped
+//   - lockedblock: no channel sends or vtime sleeps under a mutex
+//   - netreal: no real network I/O — the internet is in-process
+//
+// See DESIGN.md "Determinism: time and randomness discipline" for the
+// rationale, the documented allowlist, and the suppression directives.
+package lint
+
+import (
+	"csaw/internal/lint/analysis"
+	"csaw/internal/lint/errdrop"
+	"csaw/internal/lint/lockedblock"
+	"csaw/internal/lint/netreal"
+	"csaw/internal/lint/randdet"
+	"csaw/internal/lint/vtimecheck"
+)
+
+// Analyzers returns the full csaw-lint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		vtimecheck.Analyzer,
+		randdet.Analyzer,
+		errdrop.Analyzer,
+		lockedblock.Analyzer,
+		netreal.Analyzer,
+	}
+}
+
+// Allowlist is the documented set of path exemptions. Keep this list
+// short and justified — every entry is a place where the invariant is
+// deliberately, structurally violated, not an escape hatch of
+// convenience. Inline //lint:allow-* directives cover one-off cases and
+// are likewise documented in DESIGN.md.
+var Allowlist = map[string][]string{
+	"vtimecheck": {
+		// The virtual clock is the one component that must read the wall
+		// clock: it converts real elapsed time into virtual time.
+		"internal/vtime/",
+		// Real-deadline plumbing: netem conns implement net.Conn
+		// SetDeadline semantics, which are expressed in real time by
+		// contract (vtime.Clock.Deadline converts virtual deadlines
+		// before they reach the conn).
+		"internal/netem/conn.go",
+	},
+}
+
+// DefaultConfig returns the repository policy for a module rooted at
+// root (as reported by analysis.Load).
+func DefaultConfig(root string) *analysis.Config {
+	return &analysis.Config{ModuleRoot: root, Allow: Allowlist}
+}

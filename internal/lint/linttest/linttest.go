@@ -1,0 +1,169 @@
+// Package linttest is an analysistest-style golden-test harness for the
+// csaw-lint analyzers. A test package lives under testdata/src/<name>/
+// next to the analyzer's test file; expectations are written as
+//
+//	badCall() // want "regexp matching the diagnostic"
+//
+// comments on the offending line (multiple quoted patterns allowed). The
+// harness type-checks the package with the same export-data importer the
+// real linter uses, runs the analyzer through the real suppression and
+// allowlist pipeline (so //lint:allow-* behaviour is testable), and
+// fails the test on any unmatched expectation or unexpected diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"csaw/internal/lint/analysis"
+)
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run checks the analyzer against testdata/src/<pkg> under dir (usually
+// "testdata" relative to the test). cfg may be nil for no allowlist.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkg string, cfg *analysis.Config) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(pkgdir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", pkgdir)
+	}
+	loaded, err := analysis.ParseAndCheck(pkgdir, pkg, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{a}, cfg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, d := range diags {
+		if !match(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match marks and reports the first unmatched expectation covering d.
+func match(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want(\+\d+)?\s+(.*)$`)
+
+// parseWants extracts // want "..." expectations from the files. A
+// "// want+N" form expects the diagnostic N lines below the comment —
+// for lines whose own comment slot is taken by a //lint: directive.
+func parseWants(files []string) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			offset := 0
+			if m[1] != "" {
+				offset, _ = strconv.Atoi(m[1][1:])
+			}
+			pats, err := splitQuoted(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", f, i+1, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", f, i+1, err)
+				}
+				wants = append(wants, &want{file: f, line: i + 1 + offset, pattern: re})
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of quoted patterns: "a" `b`. Backticks
+// carry no escaping; inside double quotes \" stands for a quote.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want patterns must be quoted with \" or `, got %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if quote == '"' && s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		pat := s[1:end]
+		if quote == '"' {
+			pat = strings.ReplaceAll(pat, `\"`, `"`)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want clause")
+	}
+	return out, nil
+}

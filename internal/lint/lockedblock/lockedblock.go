@@ -1,0 +1,247 @@
+// Package lockedblock flags blocking operations performed while holding a
+// sync.Mutex or sync.RWMutex: channel sends, and virtual-time sleeps
+// (vtime.Clock.Sleep and friends). A send or sleep under a lock couples
+// the lock's hold time to scheduling or to virtual latency — at clock
+// scale 300 a 100ms virtual sleep holds the lock for real microseconds,
+// but at scale 1 it holds it for 100ms, and a send with no ready receiver
+// holds it forever. Both shapes have caused simulator deadlocks in
+// similar systems; the analyzer keeps them out by construction.
+//
+// The analysis is per-function and syntactic about control flow: a region
+// counts as locked from a mu.Lock()/mu.RLock() statement until the
+// matching Unlock in the same statement list, or to the end of the
+// function when the unlock is deferred. Function literals are not entered
+// (they usually run on another goroutine or after the unlock).
+package lockedblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"csaw/internal/lint/analysis"
+)
+
+// sleeps are the blocking entry points of csaw/internal/vtime.
+var sleeps = map[string]bool{
+	"Sleep":            true,
+	"SleepCtx":         true,
+	"SleepRealPrecise": true,
+	"SpinUntil":        true,
+}
+
+// Analyzer is the lockedblock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockedblock",
+	Doc:      "flag channel sends and vtime sleeps while holding a sync.Mutex/RWMutex",
+	Suppress: "lockedblock",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks one statement list. held maps the rendered mutex expression
+// ("c.mu") to whether it is currently locked; lock-state changes persist
+// across the list, while nested lists get a copy so a conditional Lock
+// does not leak past its branch.
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if mu, locks, ok := w.lockCall(s.X); ok {
+			if locks {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the region locked to the end of the
+		// function — that is the intended pattern, nothing to do. Other
+		// deferred calls run after the unlock; skip them.
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the lock.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(s.Arrow, "channel send while holding %s; a send with no ready receiver blocks the critical section", anyKey(held))
+		}
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
+				w.pass.Reportf(send.Arrow, "channel send (in select without default) while holding %s", anyKey(held))
+			}
+			w.stmts(cc.Body, clone(held))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, clone(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, clone(held))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		w.stmts(s.Body.List, clone(held))
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr flags vtime sleep calls inside e while a lock is held. Function
+// literals are not entered.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := w.pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "csaw/internal/vtime" && sleeps[fn.Name()] {
+			w.pass.Reportf(call.Pos(), "vtime sleep %s while holding %s; the critical section's hold time scales with virtual latency", fn.Name(), anyKey(held))
+		}
+		return true
+	})
+}
+
+// lockCall matches mu.Lock/RLock/Unlock/RUnlock on a sync mutex and
+// returns the rendered mutex expression.
+func (w *walker) lockCall(e ast.Expr) (mu string, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	tv, has := w.pass.TypesInfo.Types[sel.X]
+	if !has || !isMutex(tv.Type) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locking, true
+}
+
+// isMutex reports whether t (possibly behind pointers) is sync.Mutex or
+// sync.RWMutex.
+func isMutex(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func clone(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// anyKey returns one held mutex name for the message.
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

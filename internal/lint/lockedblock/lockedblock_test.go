@@ -1,0 +1,12 @@
+package lockedblock_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/lockedblock"
+)
+
+func TestLockedblock(t *testing.T) {
+	linttest.Run(t, lockedblock.Analyzer, "testdata", "d", nil)
+}

@@ -1,0 +1,104 @@
+// Package d exercises lockedblock: channel sends and vtime sleeps under
+// a held sync.Mutex/RWMutex are flagged; sends after unlock, sends in
+// select-with-default, and function literals are not.
+package d
+
+import (
+	"sync"
+	"time"
+
+	"csaw/internal/vtime"
+)
+
+func sendUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while holding mu`
+	mu.Unlock()
+	ch <- 2 // unlocked: fine
+}
+
+func sleepUnderLock(mu *sync.Mutex, c *vtime.Clock) {
+	mu.Lock()
+	c.Sleep(time.Second) // want `vtime sleep Sleep while holding mu`
+	mu.Unlock()
+	c.Sleep(time.Second) // unlocked: fine
+}
+
+func deferredUnlock(mu *sync.RWMutex, ch chan int, c *vtime.Clock) {
+	mu.RLock()
+	defer mu.RUnlock()
+	ch <- 1 // want `channel send while holding mu`
+	if err := c.SleepCtx(nil, time.Second); err != nil { // want `vtime sleep SleepCtx while holding mu`
+		return
+	}
+}
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) method(c *vtime.Clock) {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu`
+	vtime.SleepRealPrecise(time.Millisecond) // want `vtime sleep SleepRealPrecise while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func selects(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1: // want `channel send \(in select without default\) while holding mu`
+	}
+	select {
+	case ch <- 1: // has default, never blocks: fine
+	default:
+	}
+}
+
+func funcLits(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	go func() { ch <- 1 }() // other goroutine: fine
+	f := func() { ch <- 2 } // not entered: fine
+	_ = f
+	mu.Unlock()
+}
+
+func branchScoped(mu *sync.Mutex, ch chan int, b bool) {
+	if b {
+		mu.Lock()
+		ch <- 1 // want `channel send while holding mu`
+		mu.Unlock()
+	}
+	ch <- 2 // the conditional lock does not leak here: fine
+}
+
+func loops(mu *sync.Mutex, ch chan int, xs []int) {
+	mu.Lock()
+	for range xs {
+		ch <- 1 // want `channel send while holding mu`
+	}
+	mu.Unlock()
+	for _, x := range xs {
+		ch <- x // unlocked: fine
+	}
+}
+
+func notAMutex(ch chan int) {
+	var mu fakeMutex
+	mu.Lock()
+	ch <- 1 // fakeMutex is not sync.Mutex: fine
+	mu.Unlock()
+}
+
+type fakeMutex struct{}
+
+func (fakeMutex) Lock()   {}
+func (fakeMutex) Unlock() {}
+
+func suppressed(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 //lint:allow-lockedblock buffered channel sized to writers
+	mu.Unlock()
+}

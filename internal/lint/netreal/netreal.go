@@ -1,0 +1,76 @@
+// Package netreal forbids real network I/O. The repository's internet is
+// in-process — netem dials, in-memory conns, the httpx/dnsx/tlsx protocol
+// stands-in — so experiments run hermetically and deterministically.
+// Importing net or net/http for their *types* (net.Conn, net.Listener)
+// is how the substrates interoperate and stays legal; calling the
+// functions that actually open sockets or resolve names is not.
+package netreal
+
+import (
+	"go/ast"
+
+	"csaw/internal/lint/analysis"
+)
+
+// forbidden maps package paths to the identifiers that reach the real
+// network: dialers, listeners, resolvers, and whole-client entry points.
+var forbidden = map[string]map[string]bool{
+	"net": {
+		"Dial": true, "DialTimeout": true, "DialIP": true, "DialTCP": true,
+		"DialUDP": true, "DialUnix": true, "Dialer": true,
+		"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenIP": true,
+		"ListenPacket": true, "ListenUnix": true, "ListenConfig": true,
+		"Resolver": true, "ResolveTCPAddr": true, "ResolveUDPAddr": true, "ResolveIPAddr": true,
+		"LookupHost": true, "LookupIP": true, "LookupAddr": true, "LookupCNAME": true,
+		"LookupMX": true, "LookupNS": true, "LookupPort": true, "LookupSRV": true, "LookupTXT": true,
+	},
+	"net/http": {
+		"Get": true, "Head": true, "Post": true, "PostForm": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+		"DefaultClient": true, "DefaultTransport": true,
+		"Client": true, "Server": true, "Transport": true,
+	},
+	"crypto/tls": {
+		"Dial": true, "DialWithDialer": true, "Dialer": true,
+	},
+}
+
+// Analyzer is the netreal analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "netreal",
+	Doc:      "forbid real network I/O (net.Dial, net.Listen, http clients/servers, resolvers); the simulation's internet is in-process",
+	Suppress: "network",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			_, path, ok := pass.PkgFuncRef(sel)
+			if !ok {
+				return true
+			}
+			names := forbidden[path]
+			if names == nil || !names[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s reaches the real network; the simulation's internet is in-process (netem/httpx/dnsx)", pkgShort(path), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+func pkgShort(path string) string {
+	switch path {
+	case "net/http":
+		return "http"
+	case "crypto/tls":
+		return "tls"
+	}
+	return path
+}

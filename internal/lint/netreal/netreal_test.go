@@ -1,0 +1,12 @@
+package netreal_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/netreal"
+)
+
+func TestNetreal(t *testing.T) {
+	linttest.Run(t, netreal.Analyzer, "testdata", "e", nil)
+}

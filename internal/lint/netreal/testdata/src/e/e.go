@@ -1,0 +1,33 @@
+// Package e exercises netreal: socket-opening and resolving entry points
+// are flagged; using net types for in-process interop is not.
+package e
+
+import (
+	"net"
+	"net/http"
+)
+
+func bad() {
+	_, _ = net.Dial("tcp", "example.com:80") // want `net\.Dial reaches the real network`
+	_, _ = net.Listen("tcp", ":0")           // want `net\.Listen reaches the real network`
+	_, _ = net.LookupHost("example.com")     // want `net\.LookupHost reaches the real network`
+	var d net.Dialer                         // want `net\.Dialer reaches the real network`
+	_ = d
+	_, _ = http.Get("http://example.com") // want `http\.Get reaches the real network`
+	_ = http.ListenAndServe(":8080", nil) // want `http\.ListenAndServe reaches the real network`
+	var c http.Client                     // want `http\.Client reaches the real network`
+	_ = c
+}
+
+func good(c net.Conn, l net.Listener, addr net.Addr) string {
+	// Interface types are how the in-process substrates interoperate.
+	_ = l
+	_ = addr
+	host, _, err := net.SplitHostPort("10.0.0.1:80")
+	if err != nil {
+		return ""
+	}
+	_ = c
+	_ = http.StatusOK
+	return host
+}

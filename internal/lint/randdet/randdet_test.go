@@ -1,0 +1,12 @@
+package randdet_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/randdet"
+)
+
+func TestRanddet(t *testing.T) {
+	linttest.Run(t, randdet.Analyzer, "testdata", "b", nil)
+}

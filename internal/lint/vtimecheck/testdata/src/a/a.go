@@ -1,0 +1,57 @@
+// Package a exercises vtimecheck: wall-clock reads and timers are
+// flagged, Duration/Time value manipulation is not, and both suppression
+// placements (same line, preceding line, declaration doc) work.
+package a
+
+import "time"
+
+func bad() {
+	_ = time.Now()                         // want `time\.Now is wall-clock time`
+	time.Sleep(time.Second)                // want `time\.Sleep is wall-clock time`
+	<-time.After(time.Second)              // want `time\.After is wall-clock time`
+	time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc is wall-clock time`
+	t := time.NewTimer(time.Second)        // want `time\.NewTimer is wall-clock time`
+	_ = t
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker is wall-clock time`
+	_ = tk
+	_ = time.Since(time.Time{}) // want `time\.Since is wall-clock time`
+	_ = time.Until(time.Time{}) // want `time\.Until is wall-clock time`
+}
+
+func good() {
+	d := 3 * time.Second
+	_ = d.Seconds()
+	var t time.Time
+	_ = t.Add(time.Minute)
+	_ = time.Date(2017, time.November, 25, 0, 0, 0, 0, time.UTC)
+	_ = time.Duration(5)
+}
+
+func suppressedSameLine() {
+	start := time.Now() //lint:allow-realtime wall-clock runtime report
+	_ = start
+}
+
+func suppressedPrecedingLine() {
+	//lint:allow-realtime the deadline is real by contract
+	time.Sleep(time.Millisecond)
+}
+
+//lint:allow-realtime the whole helper deliberately measures wall time
+func suppressedDecl() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = time.Since(start)
+}
+
+// want+1 `needs a reason`
+//lint:allow-realtime
+func reasonlessDirective() {
+	_ = time.Now() // want `time\.Now is wall-clock time`
+}
+
+// want+1 `unknown suppression keyword`
+//lint:allow-wallclock oops wrong keyword
+func unknownKeyword() {
+	_ = time.Now() // want `time\.Now is wall-clock time`
+}

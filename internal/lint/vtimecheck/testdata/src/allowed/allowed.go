@@ -1,0 +1,11 @@
+// Package allowed sits on the vtimecheck allowlist in its test's config:
+// nothing here may be reported even though it reads the wall clock.
+package allowed
+
+import "time"
+
+func realDeadlinePlumbing() time.Time {
+	deadline := time.Now().Add(time.Second)
+	time.Sleep(time.Millisecond)
+	return deadline
+}

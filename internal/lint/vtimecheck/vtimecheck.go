@@ -1,0 +1,59 @@
+// Package vtimecheck forbids reading or waiting on the wall clock outside
+// the virtual-time substrate. Every latency and timeout in the simulation
+// must flow through *vtime.Clock so that clock scaling works and two runs
+// of the same experiment see the same virtual schedule; a stray time.Now
+// or time.Sleep silently anchors an experiment to the machine it runs on.
+//
+// internal/vtime itself and the real-deadline plumbing in
+// internal/netem/conn.go are allowlisted (see lint.DefaultConfig);
+// individually justified uses carry //lint:allow-realtime <reason>.
+package vtimecheck
+
+import (
+	"go/ast"
+
+	"csaw/internal/lint/analysis"
+)
+
+// forbidden are the time package's wall-clock entry points. Everything
+// else in package time (Duration arithmetic, time.Time formatting,
+// constants) is value manipulation and stays legal.
+var forbidden = map[string]string{
+	"Now":       "read the virtual clock: vtime.Clock.Now",
+	"Sleep":     "sleep in virtual time: vtime.Clock.Sleep",
+	"After":     "use vtime.Clock.After",
+	"AfterFunc": "use vtime.Clock.AfterFunc",
+	"NewTimer":  "use vtime.Clock.After/AfterFunc",
+	"NewTicker": "use vtime.Clock.NewTicker",
+	"Tick":      "use vtime.Clock.NewTicker",
+	"Since":     "use vtime.Clock.Since",
+	"Until":     "compute from vtime.Clock.Now",
+}
+
+// Analyzer is the vtimecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "vtimecheck",
+	Doc:      "forbid wall-clock time (time.Now, time.Sleep, timers) outside internal/vtime; all timing must flow through vtime.Clock",
+	Suppress: "realtime",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			_, path, ok := pass.PkgFuncRef(sel)
+			if !ok || path != "time" {
+				return true
+			}
+			if hint, bad := forbidden[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(), "time.%s is wall-clock time; %s (or annotate //lint:allow-realtime <reason>)", sel.Sel.Name, hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

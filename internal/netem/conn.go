@@ -253,11 +253,19 @@ func (c *Conn) Write(b []byte) (int, error) {
 
 // Close implements net.Conn: the peer sees EOF after draining queued data.
 func (c *Conn) Close() error {
+	c.shutdown()
+	return nil
+}
+
+// shutdown releases both directions. Closing an in-process conn cannot
+// fail — Close's error exists only to satisfy net.Conn — so internal
+// teardown paths use this error-free form instead of discarding Close's
+// result (see the errdrop analyzer).
+func (c *Conn) shutdown() {
 	c.once.Do(func() {
 		c.tx.close()
 		c.rx.close()
 	})
-	return nil
 }
 
 // Reset tears the connection down abruptly: both ends observe ErrReset and
@@ -280,9 +288,10 @@ func (c *Conn) Flow() Flow { return c.flow }
 
 // SetDeadline implements net.Conn; t is a virtual timestamp.
 func (c *Conn) SetDeadline(t time.Time) error {
-	c.SetReadDeadline(t)
-	c.SetWriteDeadline(t)
-	return nil
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
 }
 
 // SetReadDeadline implements net.Conn; t is a virtual timestamp.

@@ -96,9 +96,9 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 		sess := &Session{flow: flow, client: censorClient, server: censorServer}
 		go ic.HandleStream(flow, sess)
 		if err := lst.deliver(serverConn); err != nil {
-			clientConn.Close()
-			censorClient.Close()
-			censorServer.Close()
+			clientConn.shutdown()
+			censorClient.shutdown()
+			censorServer.shutdown()
 			return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
 		}
 		return clientConn, nil
@@ -106,7 +106,7 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 
 	clientConn, serverConn := connPair(n, oneWay, srcAddr, dstAddr, flow)
 	if err := lst.deliver(serverConn); err != nil {
-		clientConn.Close()
+		clientConn.shutdown()
 		return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
 	}
 	return clientConn, nil

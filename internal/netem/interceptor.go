@@ -82,13 +82,13 @@ func (s *Session) Reset() {
 // close), matching censors that fire RSTs at the subscriber.
 func (s *Session) ResetClient() {
 	s.client.Reset()
-	s.server.Close()
+	s.server.shutdown()
 }
 
 // Blackhole silently discards everything the client sends and never
 // responds; the client is left to its timeouts. The server side is closed.
 func (s *Session) Blackhole() {
-	s.server.Close()
+	s.server.shutdown()
 	go func() {
 		_, _ = io.Copy(io.Discard, s.client)
 	}()
@@ -106,7 +106,7 @@ func (s *Session) Splice() {
 			dst.Reset()
 			return
 		}
-		dst.Close()
+		dst.shutdown()
 	}
 	go copyDir(s.server, s.client)
 	go copyDir(s.client, s.server)
