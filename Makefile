@@ -1,14 +1,16 @@
 # Verification gates (see README "Verification gates").
 #
-#   make tier1   — the tier-1 gate: build + full test suite
-#   make vet     — static analysis (go vet)
-#   make lint    — csaw-lint: the simulation-invariant analyzers
-#   make race    — full test suite under the race detector
-#   make check   — vet + race + lint (the pre-merge gate alongside tier1)
+#   make tier1       — the tier-1 gate: build + full test suite
+#   make vet         — static analysis (go vet)
+#   make lint        — csaw-lint: the simulation-invariant analyzers
+#   make race        — full test suite under the race detector
+#   make check       — vet + race + lint (the pre-merge gate alongside tier1)
+#   make bench-fleet — emit BENCH_fleet.json (fleet throughput + the
+#                      sharded-vs-legacy global-DB sync-round comparison)
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check
+.PHONY: all build test tier1 vet lint race check bench-fleet
 
 all: tier1
 
@@ -30,3 +32,6 @@ race:
 	$(GO) test -race ./...
 
 check: vet race lint
+
+bench-fleet:
+	CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v

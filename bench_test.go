@@ -42,6 +42,7 @@ var benchRuns = map[string]int{
 	"ablation-multihoming": 6,
 	"ablation-explore":     10,
 	"ablation-fingerprint": 4,
+	"fleet":                120,
 }
 
 func benchExperiment(b *testing.B, id string) {
@@ -164,3 +165,7 @@ func BenchmarkAblationExplore(b *testing.B) { benchExperiment(b, "ablation-explo
 func BenchmarkAblationFingerprint(b *testing.B) {
 	benchExperiment(b, "ablation-fingerprint")
 }
+
+// The population-scale fleet workload (internal/fleet); cmd/csaw-fleet and
+// the BenchmarkFleet* suite in internal/fleet run the full-size versions.
+func BenchmarkFleetExperiment(b *testing.B) { benchExperiment(b, "fleet") }

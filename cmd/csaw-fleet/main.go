@@ -1,0 +1,121 @@
+// csaw-fleet drives a population-scale fleet of C-Saw clients through the
+// emulated internet (internal/fleet) and prints the run's deterministic
+// summary: same seed and population → byte-identical stdout, regardless of
+// host load, worker count, or clock scale. The timing-dependent measurements
+// (PLT distributions, sync volume, peak goroutines) go to -o as JSON.
+//
+// Usage:
+//
+//	csaw-fleet [-population N] [-duration D] [-seed N]
+//	           [-sites N] [-isps N] [-blocked-frac F]
+//	           [-scale S] [-workers N] [-o measured.json] [-progress]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"csaw/internal/fleet"
+	"csaw/internal/worldgen"
+)
+
+func main() {
+	var (
+		population  = flag.Int("population", 500, "number of clients")
+		duration    = flag.Duration("duration", 0, "virtual observation window (0 = workload default, 2h)")
+		seed        = flag.Int64("seed", 1, "seed for the workload plan and all client randomness")
+		sites       = flag.Int("sites", 0, "site catalog size (0 = workload default)")
+		isps        = flag.Int("isps", 0, "number of censoring ISPs (0 = workload default)")
+		blockedFrac = flag.Float64("blocked-frac", 0, "fraction of the catalog each AS blocks (0 = workload default)")
+		scale       = flag.Float64("scale", 0, "virtual clock scale (0 = auto by population)")
+		workers     = flag.Int("workers", fleet.DefaultWorkers, "driver worker-pool size")
+		out         = flag.String("o", "", "write the measured (timing-dependent) section as JSON to this file")
+		progress    = flag.Bool("progress", false, "print live counters to stderr every virtual minute")
+	)
+	flag.Parse()
+
+	wl := fleet.Workload{
+		Population:  *population,
+		Duration:    *duration,
+		Seed:        *seed,
+		Sites:       *sites,
+		ISPs:        *isps,
+		BlockedFrac: *blockedFrac,
+	}.WithDefaults()
+
+	if *scale <= 0 {
+		*scale = autoScale(wl.Population)
+	}
+	w, err := worldgen.New(worldgen.Options{Scale: *scale, Seed: wl.Seed})
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		fatal(err)
+	}
+	plan := fleet.BuildPlan(wl)
+	fmt.Fprintf(os.Stderr, "plan: %s (scale %g, %d workers)\n", plan, *scale, *workers)
+
+	opts := fleet.Options{Workers: *workers}
+	if *progress {
+		opts.Progress = func(s fleet.Snapshot) {
+			fmt.Fprintf(os.Stderr, "[%7.0fs virtual] joined %d left %d | sessions %d fetches %d (%d err) | syncs %d (%d err) | goroutines %d\n",
+				s.VirtualElapsed.Seconds(), s.Joined, s.Left, s.Sessions, s.Fetches,
+				s.FetchErrors, s.Syncs, s.SyncErrors, s.Goroutines)
+		}
+	}
+	start := time.Now() //lint:allow-realtime reporting wall-clock runtime to the operator
+	res, err := fleet.Run(context.Background(), w, sc, plan, opts)
+	if err != nil {
+		fatal(err)
+	}
+	//lint:allow-realtime reporting wall-clock runtime to the operator
+	fmt.Fprintf(os.Stderr, "run finished in %.1fs wall\n", time.Since(start).Seconds())
+
+	// stdout carries only the deterministic summary — the byte-identical
+	// same-seed artifact.
+	fmt.Print(res.Summary.Render())
+	if !res.Summary.Consistent() {
+		fmt.Fprintln(os.Stderr, "ERROR: global-DB per-AS lists diverged from the plan expectation")
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		raw, err := json.MarshalIndent(&res.Measured, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "measured section written to %s\n", *out)
+	} else {
+		fmt.Fprint(os.Stderr, res.Measured.Render())
+	}
+}
+
+// autoScale picks a clock scale the host can honor. Virtual deadlines are
+// real deadlines divided by the scale, so the bigger the population (and the
+// scheduler stalls that come with it), the more real-time slack each virtual
+// timeout needs: scale down as the population grows.
+func autoScale(population int) float64 {
+	switch {
+	case population <= 1000:
+		return 2400
+	case population <= 4000:
+		return 1200
+	default:
+		return 600
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csaw-fleet:", err)
+	os.Exit(1)
+}

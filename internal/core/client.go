@@ -97,6 +97,17 @@ type Config struct {
 	// selects the documented defaults.
 	Sync SyncPolicy
 
+	// DetectConnectTimeout / DetectHTTPTimeout override the detector's
+	// virtual-time deadlines when positive. Fleet runs raise them so a
+	// scheduler stall under O(10k) goroutines cannot turn a slow-but-alive
+	// direct path into a spurious timeout verdict and desync same-seed runs.
+	DetectConnectTimeout time.Duration
+	DetectHTTPTimeout    time.Duration
+	// DNSAttemptTimeout overrides the stub resolvers' per-attempt deadline
+	// when positive — same rationale: a DNS query that times out reads as
+	// DNS blocking, so fleet runs give it stall headroom.
+	DNSAttemptTimeout time.Duration
+
 	Pref  Preference
 	Trust globaldb.TrustFilter
 	Seed  int64
@@ -130,11 +141,11 @@ type Client struct {
 	counters    map[string]int
 
 	// Sync circuit-breaker state (guarded by mu).
-	syncFails    int // consecutive failed rounds
-	syncDegraded bool
+	syncFails     int // consecutive failed rounds
+	syncDegraded  bool
 	syncOpenUntil time.Time
-	lastSyncErr  error
-	lastSyncOK   time.Time
+	lastSyncErr   error
+	lastSyncOK    time.Time
 
 	bg     sync.WaitGroup // in-flight background measurements/reports
 	loops  sync.WaitGroup // periodic sync and probe loops
@@ -154,8 +165,10 @@ func New(cfg Config) (*Client, error) {
 	if maxConns <= 0 {
 		maxConns = DefaultMaxConns
 	}
-	ldns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.LDNS}
-	gdns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.GDNS}
+	ldns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.LDNS,
+		AttemptTimeout: cfg.DNSAttemptTimeout}
+	gdns := &dnsx.Client{Dial: cfg.Host.Dial, Clock: cfg.Clock, Servers: cfg.GDNS,
+		AttemptTimeout: cfg.DNSAttemptTimeout}
 	c := &Client{
 		cfg:         cfg,
 		clock:       cfg.Clock,
@@ -172,11 +185,13 @@ func New(cfg Config) (*Client, error) {
 		stop:        make(chan struct{}),
 	}
 	c.det = &detect.Detector{
-		Clock:      cfg.Clock,
-		Dial:       c.limited(cfg.Host.Dial),
-		LDNS:       ldns,
-		GDNS:       gdns,
-		Classifier: blockpage.NewClassifier(),
+		Clock:          cfg.Clock,
+		Dial:           c.limited(cfg.Host.Dial),
+		LDNS:           ldns,
+		GDNS:           gdns,
+		Classifier:     blockpage.NewClassifier(),
+		ConnectTimeout: cfg.DetectConnectTimeout,
+		HTTPTimeout:    cfg.DetectHTTPTimeout,
 	}
 	// Every approach's upstream connections draw from the same client
 	// budget: that coupling is what makes extra copies and direct-path
@@ -211,6 +226,18 @@ func (c *Client) bump(name string) {
 	c.mu.Lock()
 	c.counters[name]++
 	c.mu.Unlock()
+}
+
+// CountersSnapshot returns a copy of every event counter — the fleet driver
+// folds these into its aggregate summary without N per-name lock round-trips.
+func (c *Client) CountersSnapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
 }
 
 // limited wraps a dialer with the client's connection budget.

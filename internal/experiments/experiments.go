@@ -130,6 +130,7 @@ func All() []Runner {
 		{"ablation-explore", "Ablation: exploration cadence n", AblationExplore},
 		{"ablation-fingerprint", "Ablation: censor-visible request footprint (§8)", AblationFingerprint},
 		{"sync-fault", "Sync convergence under global-DB outages", SyncFault},
+		{"fleet", "Population-scale fleet workload", Fleet},
 	}
 }
 

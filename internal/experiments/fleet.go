@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csaw/internal/fleet"
+	"csaw/internal/metrics"
+)
+
+// Fleet runs the population-scale workload (internal/fleet) as an
+// experiment: Zipf-visited catalog, diurnal sessions, churn, per-AS blocked
+// windows — and checks that the global DB's per-AS lists converge exactly
+// onto the plan's expectation. Runs scales the population (default 400);
+// cmd/csaw-fleet drives the O(10k) version.
+func Fleet(o Options) (*Result, error) {
+	w, err := o.world(2400)
+	if err != nil {
+		return nil, err
+	}
+	wl := fleet.Workload{
+		Population: o.runs(400),
+		Seed:       o.seed(),
+	}.WithDefaults()
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		return nil, err
+	}
+	plan := fleet.BuildPlan(wl)
+	res, err := fleet.Run(context.Background(), w, sc, plan, fleet.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s, m := res.Summary, res.Measured
+
+	out := &Result{ID: "fleet", Title: fmt.Sprintf("Population-scale fleet (%d clients, %s virtual)", s.Population, wl.Duration)}
+	tbl := metrics.Table{Headers: []string{"quantity", "value"}}
+	tbl.AddRow("Clients", fmt.Sprintf("%d (churned %d)", s.Population, s.Churned))
+	tbl.AddRow("Sessions / fetches (planned)", fmt.Sprintf("%d / %d", s.Sessions, s.Fetches))
+	tbl.AddRow("Fetches executed / errors", fmt.Sprintf("%d / %d", m.Fetches, m.FetchErrors))
+	tbl.AddRow("Syncs / errors", fmt.Sprintf("%d / %d", m.Syncs, m.SyncErrors))
+	tbl.AddRow("Global-DB blocked URLs", fmt.Sprintf("%d over %d ASes", s.BlockedURLs, s.ASesReporting))
+	tbl.AddRow("Per-AS lists == plan expectation", fmt.Sprintf("%v", s.Consistent()))
+	tbl.AddRow("Peak goroutines", fmt.Sprintf("%d", m.PeakGoroutines))
+	if d, ok := m.PLT["direct"]; ok {
+		tbl.AddRow("Direct PLT p50/p95", fmt.Sprintf("%s / %s", fmtDur(time.Duration(d.P50*float64(time.Second))), fmtDur(time.Duration(d.P95*float64(time.Second)))))
+	}
+	out.Text = tbl.String()
+
+	out.Metric("population", float64(s.Population))
+	out.Metric("fetches", float64(m.Fetches))
+	out.Metric("fetch_errors", float64(m.FetchErrors))
+	out.Metric("blocked_urls", float64(s.BlockedURLs))
+	out.Metric("degraded", float64(m.Degraded))
+	out.Metric("peak_goroutines", float64(m.PeakGoroutines))
+	if d, ok := m.PLT["direct"]; ok {
+		out.Metric("plt.direct.p50_s", d.P50)
+	}
+	if !s.Consistent() {
+		return nil, fmt.Errorf("fleet: global-DB per-AS lists diverged from plan expectation:\n%s", s.Render())
+	}
+	out.Note("summary is byte-identical across same-seed runs; see internal/fleet for the determinism contract")
+	return out, nil
+}

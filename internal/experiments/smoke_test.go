@@ -43,3 +43,5 @@ func smoke(t *testing.T, id string, runs int) {
 func TestSmokeAbl5(t *testing.T) { smoke(t, "ablation-fingerprint", 3) }
 
 func TestSmokeSyncFault(t *testing.T) { smoke(t, "sync-fault", 3) }
+
+func TestSmokeFleet(t *testing.T) { smoke(t, "fleet", 50) }

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"csaw/internal/globaldb"
+	"csaw/internal/worldgen"
+)
+
+// --- The sharded-vs-legacy global-DB trajectory -------------------------
+//
+// benchSyncRound measures the server-side cost of the client sync loop —
+// the exact store traffic core.Client.syncRound generates — against a
+// steady state of 2000 clients × 5 reports across 16 ASes. Every round
+// fetches the client's own-AS blocked list; a post precedes the fetch on
+// every 7th round, matching the steady-state mix where most intervals have
+// no new blocked URLs to report (§4.3.1: blocking events are rare relative
+// to sync intervals) and re-posts keep the store size stationary. This is
+// the before/after pair behind BENCH_fleet.json's ingest-throughput
+// acceptance gate: the legacy store pays an O(total reports) scan plus a
+// sort and a marshal for every fetch under the one global mutex, while the
+// sharded store re-aggregates only a written AS — once, on the first fetch
+// after the write — and serves the cached body to everyone else.
+
+const (
+	benchClients   = 2000
+	benchASes      = 16
+	benchPerClient = 5
+)
+
+var benchBase = time.Unix(1_000_000_000, 0)
+
+func populateBench(tb testing.TB, s globaldb.BenchStore, perClient int) {
+	for c := 0; c < benchClients; c++ {
+		uuid := fmt.Sprintf("client-%05d", c)
+		s.AddUser(uuid)
+		asn := 100 + c%benchASes
+		batch := make([]globaldb.Report, perClient)
+		for r := range batch {
+			batch[r] = globaldb.Report{
+				URL:    fmt.Sprintf("site%d-%d.example/", c%50, r),
+				ASN:    asn,
+				Stages: []globaldb.WireStage{{Type: 1, Detail: "nxdomain"}},
+				Tm:     benchBase,
+			}
+		}
+		if _, ok := s.Ingest(uuid, benchBase, batch); !ok {
+			tb.Fatal("bench setup: ingest rejected")
+		}
+	}
+}
+
+func benchSyncRound(b *testing.B, s globaldb.BenchStore) {
+	populateBench(b, s, benchPerClient)
+	base := time.Unix(2_000_000_000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i % benchClients
+		uuid := fmt.Sprintf("client-%05d", c)
+		asn := 100 + c%benchASes
+		// 7 is coprime with the AS count so post traffic spreads over all
+		// 16 ASes instead of aliasing onto a subset.
+		if i%7 == 0 {
+			if _, ok := s.Ingest(uuid, base.Add(time.Duration(i)*time.Second), []globaldb.Report{{
+				URL:    fmt.Sprintf("site%d-%d.example/", c%50, i%benchPerClient),
+				ASN:    asn,
+				Stages: []globaldb.WireStage{{Type: 1, Detail: "nxdomain"}},
+				Tm:     benchBase,
+			}}); !ok {
+				b.Fatal("ingest rejected")
+			}
+		}
+		if body := s.FetchResponse(asn); len(body) == 0 {
+			b.Fatal("empty fetch body")
+		}
+	}
+}
+
+func BenchmarkFleetSyncRoundLegacy(b *testing.B) {
+	benchSyncRound(b, globaldb.NewLegacyBenchStore())
+}
+
+func BenchmarkFleetSyncRoundSharded(b *testing.B) {
+	benchSyncRound(b, globaldb.NewShardedBenchStore())
+}
+
+// --- The end-to-end fleet run ------------------------------------------
+
+// benchWorkload is the per-iteration fleet run: big enough that the sync
+// plane and worker pool matter, small enough for -bench=. CI budgets.
+func benchWorkload() Workload {
+	return Workload{
+		Population:   150,
+		Duration:     30 * time.Minute,
+		Seed:         17,
+		Sites:        120,
+		ISPs:         6,
+		BlockedFrac:  0.18,
+		MeanSessions: 1.5,
+		MaxFetches:   3,
+	}
+}
+
+func runBenchFleet(tb testing.TB) *RunResult {
+	wl := benchWorkload()
+	w, err := worldgen.New(worldgen.Options{Scale: 2400, Seed: wl.Seed})
+	if err != nil {
+		tb.Fatalf("world: %v", err)
+	}
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		tb.Fatalf("scenario: %v", err)
+	}
+	res, err := Run(context.Background(), w, sc, BuildPlan(wl), Options{Workers: 32})
+	if err != nil {
+		tb.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// BenchmarkFleetRun drives a full fleet run per iteration and republishes
+// its headline numbers as benchmark metrics.
+func BenchmarkFleetRun(b *testing.B) {
+	b.ReportAllocs()
+	var last *RunResult
+	for i := 0; i < b.N; i++ {
+		last = runBenchFleet(b)
+	}
+	m := last.Measured
+	b.ReportMetric(float64(m.Fetches), "fetches")
+	b.ReportMetric(float64(m.PeakGoroutines), "peak-goroutines")
+	b.ReportMetric(float64(m.Syncs), "syncs")
+	if d, ok := m.PLT["direct"]; ok {
+		b.ReportMetric(d.P50, "direct-p50-s")
+	}
+}
+
+// --- The BENCH_fleet.json emitter --------------------------------------
+
+// benchFleetDoc is the emitted schema; .github/workflows/ci.yml uploads the
+// file as an artifact via `make bench-fleet`.
+type benchFleetDoc struct {
+	Schema    int    `json:"schema"`
+	Generated string `json:"generated"`
+
+	SyncRound struct {
+		LegacyNsPerOp   float64 `json:"legacy_ns_per_op"`
+		ShardedNsPerOp  float64 `json:"sharded_ns_per_op"`
+		Speedup         float64 `json:"speedup"`
+		LegacyAllocsOp  int64   `json:"legacy_allocs_per_op"`
+		ShardedAllocsOp int64   `json:"sharded_allocs_per_op"`
+	} `json:"sync_round"`
+
+	FleetRun struct {
+		Population        int     `json:"population"`
+		Fetches           int     `json:"fetches"`
+		RealSeconds       float64 `json:"real_seconds"`
+		FetchesPerRealSec float64 `json:"fetches_per_real_sec"`
+		Measured
+	} `json:"fleet_run"`
+}
+
+// TestEmitBenchFleet writes BENCH_fleet.json when CSAW_BENCH_FLEET_OUT is
+// set (`make bench-fleet`), and enforces the trajectory's acceptance gate:
+// the sharded store must carry the sync-round mix at ≥5× the single-mutex
+// baseline's throughput.
+func TestEmitBenchFleet(t *testing.T) {
+	out := os.Getenv("CSAW_BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("set CSAW_BENCH_FLEET_OUT=BENCH_fleet.json to emit the benchmark document")
+	}
+
+	legacy := testing.Benchmark(BenchmarkFleetSyncRoundLegacy)
+	sharded := testing.Benchmark(BenchmarkFleetSyncRoundSharded)
+
+	var doc benchFleetDoc
+	doc.Schema = 1
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	doc.SyncRound.LegacyNsPerOp = float64(legacy.NsPerOp())
+	doc.SyncRound.ShardedNsPerOp = float64(sharded.NsPerOp())
+	doc.SyncRound.Speedup = float64(legacy.NsPerOp()) / float64(sharded.NsPerOp())
+	doc.SyncRound.LegacyAllocsOp = legacy.AllocsPerOp()
+	doc.SyncRound.ShardedAllocsOp = sharded.AllocsPerOp()
+
+	start := time.Now()
+	res := runBenchFleet(t)
+	real := time.Since(start).Seconds()
+	doc.FleetRun.Population = res.Summary.Population
+	doc.FleetRun.Fetches = res.Measured.Fetches
+	doc.FleetRun.RealSeconds = real
+	doc.FleetRun.FetchesPerRealSec = float64(res.Measured.Fetches) / real
+	doc.FleetRun.Measured = res.Measured
+
+	raw, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatalf("write %s: %v", out, err)
+	}
+	t.Logf("sync round: legacy %.0f ns/op, sharded %.0f ns/op → %.1fx; fleet run: %d fetches in %.2fs",
+		doc.SyncRound.LegacyNsPerOp, doc.SyncRound.ShardedNsPerOp, doc.SyncRound.Speedup,
+		doc.FleetRun.Fetches, real)
+	if doc.SyncRound.Speedup < 5 {
+		t.Errorf("sharded sync-round speedup %.2fx below the 5x acceptance gate", doc.SyncRound.Speedup)
+	}
+	if !res.Summary.Consistent() {
+		t.Errorf("fleet run diverged from plan expectation:\n%s", res.Summary.Render())
+	}
+}

@@ -1,0 +1,330 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"csaw/internal/core"
+	"csaw/internal/worldgen"
+)
+
+// Driver tunables.
+const (
+	// DefaultWorkers bounds concurrently *executing* clients. Sessions are
+	// virtual-time-scheduled, so workers are a concurrency budget, not a
+	// parallelism requirement: a busy pool just runs sessions late, which
+	// inflates measured PLTs and never changes the Summary.
+	DefaultWorkers = 64
+	// finalSyncRetries bounds the end-of-life sync attempts per client. The
+	// Summary's listed-equals-expected invariant needs every client's last
+	// pending reports flushed.
+	finalSyncRetries = 5
+	// detectDeadline replaces the detector's 21s/18s defaults. Affirmative
+	// blocking signals answer in RTTs; the slack only absorbs scheduler
+	// stalls, which at O(10k) goroutines can exceed the defaults — and a
+	// blown detector deadline is not just an error, it is a *verdict*.
+	detectDeadline = 2 * time.Hour
+	// neverSync parks the client's periodic sync loop beyond any window;
+	// the driver syncs explicitly (at join, after each session, at exit) so
+	// sync traffic is worker-bounded instead of 10k free-running tickers.
+	neverSync = 1000 * time.Hour
+	// samplePeriod is the live-counter / goroutine-gauge cadence (virtual).
+	samplePeriod = time.Minute
+)
+
+// Options tunes a fleet run.
+type Options struct {
+	// Workers is the driver pool size (default DefaultWorkers).
+	Workers int
+	// Progress, when set, receives a live Snapshot every samplePeriod of
+	// virtual time.
+	Progress func(Snapshot)
+}
+
+// Run executes the plan against a built world + fleet scenario and returns
+// the deterministic Summary plus the Measured section. The world must have
+// been built with BuildFleetScenario and nothing else driving it.
+func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, plan *Plan, opts Options) (*RunResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > len(plan.Clients) && len(plan.Clients) > 0 {
+		workers = len(plan.Clients)
+	}
+	st := newStats(plan.Workload.Seed)
+	start := w.Clock.Now()
+
+	// Live sampler: goroutine gauge + progress callback, on virtual time.
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tk := w.Clock.NewTicker(samplePeriod)
+		defer tk.Stop()
+		for {
+			select {
+			case <-sampleStop:
+				return
+			case <-tk.C:
+				n := runtime.NumGoroutine()
+				st.observeGoroutines(n)
+				if opts.Progress != nil {
+					opts.Progress(st.snapshot(w.Clock.Since(start), n))
+				}
+			}
+		}
+	}()
+
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		var mine []*ClientPlan
+		for i := range plan.Clients {
+			if i%workers == wk {
+				mine = append(mine, &plan.Clients[i])
+			}
+		}
+		wg.Add(1)
+		go func(mine []*ClientPlan) {
+			defer wg.Done()
+			if err := runWorker(ctx, w, sc, mine, st, start); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}(mine)
+	}
+	wg.Wait()
+	close(sampleStop)
+	sampleWG.Wait()
+	st.observeGoroutines(runtime.NumGoroutine())
+
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return collect(w, sc, plan, st, workers, w.Clock.Since(start)), nil
+}
+
+// event is one scheduled action of a worker's merged timeline. seq orders a
+// client's own events (join < sessions < leave) under equal times.
+type event struct {
+	at   time.Duration
+	cidx int
+	seq  int
+	cp   *ClientPlan
+	sess *Session
+}
+
+// runWorker drives its clients' merged, time-ordered event queue: lazy
+// client creation at join, explicit sync after each session, and a flush +
+// close at leave (churn) or end of plan.
+func runWorker(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario,
+	mine []*ClientPlan, st *Stats, start time.Time) error {
+	var events []event
+	for _, cp := range mine {
+		seq := 0
+		events = append(events, event{at: cp.Join, cidx: cp.Index, seq: seq, cp: cp})
+		for i := range cp.Sessions {
+			seq++
+			events = append(events, event{at: cp.Sessions[i].At, cidx: cp.Index, seq: seq, cp: cp, sess: &cp.Sessions[i]})
+		}
+		if cp.Leave > 0 {
+			seq++
+			events = append(events, event{at: cp.Leave, cidx: cp.Index, seq: seq, cp: cp})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.cidx != b.cidx {
+			return a.cidx < b.cidx
+		}
+		return a.seq < b.seq
+	})
+
+	clients := make(map[int]*core.Client, len(mine))
+	defer func() {
+		// Error path: don't leak sync loops.
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	clock := w.Clock
+	for _, ev := range events {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d := ev.at - clock.Since(start); d > 0 {
+			clock.Sleep(d)
+		}
+		switch cl := clients[ev.cidx]; {
+		case ev.seq == 0:
+			// Join: build and start the client.
+			c, err := joinClient(ctx, w, sc, ev.cp)
+			if err != nil {
+				return fmt.Errorf("fleet: client %d join: %w", ev.cp.Index, err)
+			}
+			clients[ev.cidx] = c
+			st.bump(&st.joined)
+		case ev.sess != nil:
+			for _, url := range ev.sess.URLs {
+				res := c0fetch(ctx, cl, url)
+				st.recordFetch(res.Source, res.Took, res.Err != nil)
+			}
+			st.bump(&st.sessions)
+			st.recordSync(cl.SyncNow(ctx))
+		default:
+			// Leave (churn): flush and shut down early.
+			retireClient(ctx, cl, st)
+			delete(clients, ev.cidx)
+			st.bump(&st.left)
+		}
+	}
+
+	// End of window: flush and close the survivors in index order.
+	idxs := make([]int, 0, len(clients))
+	for i := range clients {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		retireClient(ctx, clients[i], st)
+		delete(clients, i)
+	}
+	return nil
+}
+
+// c0fetch is FetchURL with a nil-result guard (FetchURL always returns a
+// Result today; the guard keeps a future regression from panicking 10k
+// goroutines deep).
+func c0fetch(ctx context.Context, cl *core.Client, url string) *core.Result {
+	if res := cl.FetchURL(ctx, url); res != nil {
+		return res
+	}
+	return &core.Result{URL: url, Source: "direct", Err: fmt.Errorf("fleet: nil fetch result")}
+}
+
+// joinClient assembles a fleet-weight client (see the package comment for
+// why PSet/P=0 and the raised detector deadlines are load-bearing).
+func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, cp *ClientPlan) (*core.Client, error) {
+	host := w.NewClientHost(fmt.Sprintf("fleet-c%05d", cp.Index), sc.ISPs[cp.ISP])
+	cfg := w.LightClientConfig(host, cp.Seed)
+	cfg.PSet, cfg.P = true, 0
+	cfg.SyncInterval = neverSync
+	cfg.DetectConnectTimeout = detectDeadline
+	cfg.DetectHTTPTimeout = detectDeadline
+	cfg.DNSAttemptTimeout = detectDeadline
+	cl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Start registers and performs the initial list download. Registration
+	// is idempotent across attempts (the UUID sticks once assigned), so a
+	// sync that lost a timing race under load is safe to retry.
+	var startErr error
+	for attempt := 0; attempt < finalSyncRetries; attempt++ {
+		if startErr = cl.Start(ctx); startErr == nil {
+			return cl, nil
+		}
+	}
+	cl.Close()
+	return nil, startErr
+}
+
+// retireClient drains background work, flushes pending reports, and closes.
+// The flush must succeed for the Summary invariant, hence the retry loop;
+// a client that still can't sync is counted degraded, not fatal.
+func retireClient(ctx context.Context, cl *core.Client, st *Stats) {
+	cl.WaitIdle()
+	var err error
+	for attempt := 0; attempt < finalSyncRetries; attempt++ {
+		if err = cl.SyncNow(ctx); err == nil {
+			break
+		}
+	}
+	st.recordSync(err)
+	if cl.Degraded() || err != nil {
+		st.bump(&st.degraded)
+	}
+	st.addCounters(cl.CountersSnapshot())
+	cl.Close()
+}
+
+// collect assembles the RunResult: the deterministic Summary from the plan
+// and the final global-DB state, and the Measured section from the live
+// stats.
+func collect(w *worldgen.World, sc *worldgen.FleetScenario, plan *Plan, st *Stats,
+	workers int, elapsed time.Duration) *RunResult {
+	wl := plan.Workload
+	sum := Summary{
+		Population:    len(plan.Clients),
+		Seed:          wl.Seed,
+		Sites:         wl.Sites,
+		ISPs:          wl.ISPs,
+		Sessions:      plan.Sessions,
+		Fetches:       plan.Fetches,
+		Churned:       plan.Churned,
+		DistinctSites: plan.DistinctSites,
+	}
+	gstats := w.GlobalDB.StatsSnapshot()
+	sum.RegisteredUsers = gstats.Users
+	sum.BlockedURLs = gstats.BlockedURLs
+	sum.BlockedDomains = gstats.BlockedDomains
+	sum.ASesReporting = gstats.ASes
+	sum.BlockTypes = gstats.BlockTypes
+
+	expected := plan.ExpectedBlocked(sc)
+	for j := 0; j < wl.ISPs; j++ {
+		asn := worldgen.FleetBaseASN + j
+		listed := make(map[string]bool)
+		for _, e := range w.GlobalDB.BlockedForAS(asn) {
+			listed[e.URL] = true
+		}
+		a := ASSummary{ASN: asn, Clients: plan.PerISP[j], PolicyBlocked: len(sc.Blocked[asn])}
+		a.Expected, a.ExpectedHash = setHash(expected[asn])
+		a.Listed, a.ListedHash = setHash(listed)
+		sum.PerAS = append(sum.PerAS, a)
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := Measured{
+		VirtualSeconds: elapsed.Seconds(),
+		Workers:        workers,
+		Scale:          w.Clock.Scale(),
+		Fetches:        st.fetches,
+		FetchErrors:    st.fetchErrors,
+		Sessions:       st.sessions,
+		Syncs:          st.syncs,
+		SyncErrors:     st.syncErrors,
+		Joined:         st.joined,
+		Left:           st.left,
+		Degraded:       st.degraded,
+		PeakGoroutines: st.peakGoroutines,
+		Updates:        gstats.Updates,
+		PLT:            make(map[string]PLTStats, len(st.plt)),
+		Counters:       make(map[string]int, len(st.counters)),
+	}
+	for src, d := range st.plt {
+		m.PLT[src] = PLTStats{
+			N: d.N(), P50: d.Percentile(50), P95: d.Percentile(95),
+			Mean: d.Mean(), Max: d.Max(),
+		}
+	}
+	for k, v := range st.counters {
+		m.Counters[k] = v
+	}
+	return &RunResult{Summary: sum, Measured: m}
+}

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"csaw/internal/worldgen"
+)
+
+// runFleet builds a world + scenario for the workload and executes it.
+func runFleet(t *testing.T, wl Workload, scale float64, workers int) *RunResult {
+	t.Helper()
+	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: wl.Seed})
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	plan := BuildPlan(wl)
+	res, err := Run(context.Background(), w, sc, plan, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// smokeWorkload is small enough for the ordinary test run.
+func smokeWorkload(seed int64) Workload {
+	return Workload{
+		Population:   60,
+		Duration:     30 * time.Minute,
+		Seed:         seed,
+		Sites:        80,
+		ISPs:         4,
+		BlockedFrac:  0.2,
+		MeanSessions: 1.5,
+		MaxFetches:   3,
+	}
+}
+
+func TestFleetSmoke(t *testing.T) {
+	res := runFleet(t, smokeWorkload(11), 2400, 16)
+	s := res.Summary
+	if s.RegisteredUsers != s.Population {
+		t.Errorf("registered %d of %d clients", s.RegisteredUsers, s.Population)
+	}
+	if !s.Consistent() {
+		t.Errorf("global DB diverged from the plan expectation:\n%s", s.Render())
+	}
+	if s.BlockedURLs == 0 {
+		t.Error("no blocked URLs reported — the scenario or detection pipeline is dead")
+	}
+	m := res.Measured
+	if m.Fetches != s.Fetches {
+		t.Errorf("executed %d fetches, planned %d", m.Fetches, s.Fetches)
+	}
+	if m.FetchErrors > 0 {
+		t.Errorf("%d fetch errors (counters: %v)", m.FetchErrors, m.Counters)
+	}
+	if m.SyncErrors > 0 || m.Degraded > 0 {
+		t.Errorf("sync errors %d, degraded %d", m.SyncErrors, m.Degraded)
+	}
+	if len(m.PLT) == 0 {
+		t.Error("no PLT samples recorded")
+	}
+	t.Logf("\n%s%s", s.Render(), m.Render())
+}
+
+// TestPlanDeterminism: equal workloads yield equal plans (pure generation,
+// no execution).
+func TestPlanDeterminism(t *testing.T) {
+	wl := smokeWorkload(5)
+	a, b := BuildPlan(wl), BuildPlan(wl)
+	if a.Sessions != b.Sessions || a.Fetches != b.Fetches || a.Churned != b.Churned ||
+		a.DistinctSites != b.DistinctSites {
+		t.Fatalf("plan aggregates diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Clients {
+		ca, cb := a.Clients[i], b.Clients[i]
+		if ca.ISP != cb.ISP || ca.Join != cb.Join || ca.Leave != cb.Leave ||
+			len(ca.Sessions) != len(cb.Sessions) {
+			t.Fatalf("client %d diverged: %+v vs %+v", i, ca, cb)
+		}
+		for j := range ca.Sessions {
+			sa, sb := ca.Sessions[j], cb.Sessions[j]
+			if sa.At != sb.At || len(sa.URLs) != len(sb.URLs) {
+				t.Fatalf("client %d session %d diverged", i, j)
+			}
+			for k := range sa.URLs {
+				if sa.URLs[k] != sb.URLs[k] {
+					t.Fatalf("client %d session %d url %d: %s vs %s", i, j, k, sa.URLs[k], sb.URLs[k])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkloadShape sanity-checks the generators: churn bounded by the
+// window, sessions inside each client's active span, fetch counts capped.
+func TestWorkloadShape(t *testing.T) {
+	wl := Workload{Population: 300, Seed: 9}.WithDefaults()
+	p := BuildPlan(wl)
+	if len(p.Clients) != 300 {
+		t.Fatalf("%d clients", len(p.Clients))
+	}
+	perISP := 0
+	for _, n := range p.PerISP {
+		perISP += n
+	}
+	if perISP != 300 {
+		t.Errorf("ISP mix sums to %d", perISP)
+	}
+	for _, cp := range p.Clients {
+		end := wl.Duration
+		if cp.Leave > 0 {
+			if cp.Leave <= cp.Join || cp.Leave > wl.Duration {
+				t.Fatalf("client %d: leave %v outside (join %v, window %v]", cp.Index, cp.Leave, cp.Join, wl.Duration)
+			}
+			end = cp.Leave
+		}
+		if cp.Join < 0 || cp.Join > wl.JoinWindow {
+			t.Fatalf("client %d: join %v outside window %v", cp.Index, cp.Join, wl.JoinWindow)
+		}
+		last := time.Duration(-1)
+		for _, s := range cp.Sessions {
+			if s.At < cp.Join || s.At > end {
+				t.Fatalf("client %d: session at %v outside [%v, %v]", cp.Index, s.At, cp.Join, end)
+			}
+			if s.At < last {
+				t.Fatalf("client %d: sessions unsorted", cp.Index)
+			}
+			last = s.At
+			if len(s.URLs) < 1 || len(s.URLs) > wl.MaxFetches {
+				t.Fatalf("client %d: %d fetches in a session (max %d)", cp.Index, len(s.URLs), wl.MaxFetches)
+			}
+		}
+	}
+	if p.Churned == 0 {
+		t.Error("no churned clients at default ChurnFrac over 300 clients")
+	}
+}

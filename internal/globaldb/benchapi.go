@@ -1,0 +1,30 @@
+package globaldb
+
+import "time"
+
+// BenchStore exposes the store backends' ingest/fetch surface to the
+// cross-package benchmark trajectory (internal/fleet's BenchmarkFleet*
+// suite and the BENCH_fleet.json emitter): the before/after comparison of
+// the retained single-mutex seed store against the sharded default. It is
+// not part of the simulation API — the Server never hands one out.
+type BenchStore struct{ s store }
+
+// NewLegacyBenchStore returns the seed's single-mutex store.
+func NewLegacyBenchStore() BenchStore { return BenchStore{newLegacyStore()} }
+
+// NewShardedBenchStore returns the sharded default store.
+func NewShardedBenchStore() BenchStore { return BenchStore{newShardedStore()} }
+
+// AddUser registers a uuid.
+func (b BenchStore) AddUser(uuid string) { b.s.addUser(uuid) }
+
+// Ingest folds a report batch in, as handleReport does.
+func (b BenchStore) Ingest(uuid string, now time.Time, reports []Report) (int, bool) {
+	return b.s.ingest(uuid, now, reports)
+}
+
+// FetchResponse serves the /v1/blocked body, as handleFetch does.
+func (b BenchStore) FetchResponse(asn int) []byte { return b.s.fetchResponse(asn) }
+
+// BlockedForAS aggregates an AS's entries.
+func (b BenchStore) BlockedForAS(asn int) []Entry { return b.s.blockedForAS(asn) }

@@ -1,0 +1,153 @@
+package globaldb
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// legacyStore is the original single-mutex store: every register, report and
+// fetch serializes behind one lock, and every fetch re-aggregates and re-sorts
+// the whole client table. It is retained verbatim as the before side of the
+// fleet before/after benchmark (BenchmarkSyncRound* in bench_test.go); the
+// server itself now runs shardedStore.
+type legacyStore struct {
+	mu      sync.Mutex
+	clients map[string]map[string]*clientReport // uuid → "url|asn" → report
+	users   map[string]bool
+	revoked map[string]bool
+	updates int
+}
+
+func newLegacyStore() *legacyStore {
+	return &legacyStore{
+		clients: make(map[string]map[string]*clientReport),
+		users:   make(map[string]bool),
+		revoked: make(map[string]bool),
+	}
+}
+
+func (s *legacyStore) addUser(uuid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[uuid] = true
+}
+
+func (s *legacyStore) ingest(uuid string, now time.Time, reports []Report) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.users[uuid] || s.revoked[uuid] {
+		return 0, false
+	}
+	m := s.clients[uuid]
+	if m == nil {
+		m = make(map[string]*clientReport)
+		s.clients[uuid] = m
+	}
+	accepted := 0
+	for _, r := range reports {
+		if r.URL == "" || r.ASN == 0 {
+			continue
+		}
+		key := r.URL + "|" + strconv.Itoa(r.ASN)
+		if _, seen := m[key]; !seen {
+			s.updates++
+		}
+		m[key] = &clientReport{url: r.URL, asn: r.ASN, stages: r.Stages, tm: r.Tm, tp: now}
+		accepted++
+	}
+	return accepted, true
+}
+
+// blockedForAS aggregates the blocked-URL entries for an AS with voting
+// statistics: s_jk = Σ 1/d_i over clients i reporting (j,k), n_jk = count.
+// This is the O(total reports) + sort-per-call path the sharded store's
+// snapshot cache replaces.
+func (s *legacyStore) blockedForAS(asn int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := make(map[string]*Entry)
+	for uuid, reports := range s.clients {
+		if s.revoked[uuid] {
+			continue
+		}
+		d := len(reports)
+		if d == 0 {
+			continue
+		}
+		vote := 1.0 / float64(d)
+		for _, r := range reports {
+			if r.asn != asn {
+				continue
+			}
+			e := agg[r.url]
+			if e == nil {
+				e = &Entry{URL: r.url, ASN: asn, Stages: r.stages}
+				agg[r.url] = e
+			}
+			e.Votes += vote
+			e.Reporters++
+			if r.tp.After(e.LastTp) {
+				e.LastTp = r.tp
+				e.Stages = r.stages
+			}
+		}
+	}
+	out := make([]Entry, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sortEntries(out)
+	return out
+}
+
+func (s *legacyStore) fetchResponse(asn int) []byte {
+	b, err := json.Marshal(FetchResponse{ASN: asn, Entries: s.blockedForAS(asn)})
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+func sortEntries(es []Entry) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].URL < es[j-1].URL; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func (s *legacyStore) revoke(uuid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revoked[uuid] = true
+}
+
+func (s *legacyStore) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Users: len(s.users), ByType: make(map[string]int)}
+	urls := make(map[string]bool)
+	domains := make(map[string]bool)
+	ases := make(map[int]bool)
+	types := make(map[string]bool)
+	urlType := make(map[string]string)
+	for uuid, reports := range s.clients {
+		if s.revoked[uuid] {
+			continue
+		}
+		for _, r := range reports {
+			statsFold(r, urls, domains, ases, types, urlType)
+		}
+	}
+	for _, cls := range urlType {
+		st.ByType[cls]++
+	}
+	st.BlockedURLs = len(urls)
+	st.BlockedDomains = len(domains)
+	st.ASes = len(ases)
+	st.BlockTypes = len(types)
+	st.Updates = s.updates
+	return st
+}

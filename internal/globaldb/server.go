@@ -28,28 +28,19 @@ func DefaultCaptcha(token string) bool { return strings.HasPrefix(token, "human-
 // server's second line against fake-account floods.
 const RegistrationRateLimit = 5
 
-// Server is the global_DB + server_DB.
+// Server is the global_DB + server_DB. Measurement state lives behind the
+// store interface (sharded by default; see sharded.go); the Server itself
+// keeps only the HTTP surface and the registration rate limiter.
 type Server struct {
 	clock   *vtime.Clock
 	captcha CaptchaVerifier
 	faults  FaultPolicy
+	store   store
 
-	mu           sync.Mutex
+	mu           sync.Mutex // guards the registration state below
 	uuidSeq      uint64
-	clients      map[string]map[string]*clientReport // uuid → "url|asn" → report
-	users        map[string]bool                     // registered uuids
-	regByIP      map[string][]time.Time              // registration times per source IP
+	regByIP      map[string][]time.Time // registration times per source IP
 	lastRegSweep time.Time
-	updates      int
-	revoked      map[string]bool
-}
-
-type clientReport struct {
-	url    string
-	asn    int
-	stages []WireStage
-	tm     time.Time
-	tp     time.Time
 }
 
 // NewServer creates a server. A nil verifier selects DefaultCaptcha.
@@ -60,11 +51,9 @@ func NewServer(clock *vtime.Clock, captcha CaptchaVerifier) *Server {
 	return &Server{
 		clock:        clock,
 		captcha:      captcha,
-		clients:      make(map[string]map[string]*clientReport),
-		users:        make(map[string]bool),
+		store:        newShardedStore(),
 		regByIP:      make(map[string][]time.Time),
 		lastRegSweep: clock.Now(),
-		revoked:      make(map[string]bool),
 	}
 }
 
@@ -126,7 +115,6 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	srcIP := flow.Src.IP
 	now := s.clock.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sweepRegLocked(now)
 	// Rate-limit registrations per source IP (sliding hour). The IP is used
 	// only for this in-memory counter and never stored with measurements.
@@ -138,6 +126,7 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	}
 	if len(recent) >= RegistrationRateLimit {
 		s.regByIP[srcIP] = recent
+		s.mu.Unlock()
 		return httpx.NewResponse(429, []byte("registration rate limit"))
 	}
 	s.regByIP[srcIP] = append(recent, now)
@@ -145,10 +134,13 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	// UUID: a cryptographic-hash-of-time identifier (§4.2). FNV suffices
 	// for the simulation; the property used is uniqueness, not secrecy.
 	s.uuidSeq++
+	seq := s.uuidSeq
+	s.mu.Unlock()
+
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d", now.UnixNano(), s.uuidSeq)
+	fmt.Fprintf(h, "%d|%d", now.UnixNano(), seq)
 	uuid := fmt.Sprintf("%016x", h.Sum64())
-	s.users[uuid] = true
+	s.store.addUser(uuid)
 	return jsonResponse(200, RegisterResponse{UUID: uuid})
 }
 
@@ -184,26 +176,9 @@ func (s *Server) handleReport(req *httpx.Request) *httpx.Response {
 	if err := json.Unmarshal(req.Body, &body); err != nil {
 		return httpx.NewResponse(400, []byte("bad json"))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.users[body.UUID] || s.revoked[body.UUID] {
+	accepted, ok := s.store.ingest(body.UUID, s.clock.Now(), body.Reports)
+	if !ok {
 		return httpx.NewResponse(403, []byte("unknown or revoked uuid"))
-	}
-	reports := s.clients[body.UUID]
-	if reports == nil {
-		reports = make(map[string]*clientReport)
-		s.clients[body.UUID] = reports
-	}
-	now := s.clock.Now()
-	accepted := 0
-	for _, r := range body.Reports {
-		if r.URL == "" || r.ASN == 0 {
-			continue
-		}
-		key := r.URL + "|" + strconv.Itoa(r.ASN)
-		reports[key] = &clientReport{url: r.URL, asn: r.ASN, stages: r.Stages, tm: r.Tm, tp: now}
-		accepted++
-		s.updates++
 	}
 	return jsonResponse(200, ReportResponse{Accepted: accepted})
 }
@@ -220,108 +195,21 @@ func (s *Server) handleFetch(req *httpx.Request) *httpx.Response {
 	if asn == 0 {
 		return httpx.NewResponse(400, []byte("missing asn"))
 	}
-	return jsonResponse(200, FetchResponse{ASN: asn, Entries: s.BlockedForAS(asn)})
+	resp := httpx.NewResponse(200, s.store.fetchResponse(asn))
+	resp.Header.Set("Content-Type", "application/json")
+	return resp
 }
 
 // BlockedForAS aggregates the blocked-URL entries for an AS with voting
 // statistics: s_jk = Σ 1/d_i over clients i reporting (j,k), n_jk = count.
-func (s *Server) BlockedForAS(asn int) []Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	agg := make(map[string]*Entry)
-	for uuid, reports := range s.clients {
-		if s.revoked[uuid] {
-			continue
-		}
-		d := len(reports)
-		if d == 0 {
-			continue
-		}
-		vote := 1.0 / float64(d)
-		for _, r := range reports {
-			if r.asn != asn {
-				continue
-			}
-			e := agg[r.url]
-			if e == nil {
-				e = &Entry{URL: r.url, ASN: asn, Stages: r.stages}
-				agg[r.url] = e
-			}
-			e.Votes += vote
-			e.Reporters++
-			if r.tp.After(e.LastTp) {
-				e.LastTp = r.tp
-				e.Stages = r.stages
-			}
-		}
-	}
-	out := make([]Entry, 0, len(agg))
-	for _, e := range agg {
-		out = append(out, *e)
-	}
-	sortEntries(out)
-	return out
-}
-
-func sortEntries(es []Entry) {
-	for i := 1; i < len(es); i++ {
-		for j := i; j > 0 && es[j].URL < es[j-1].URL; j-- {
-			es[j], es[j-1] = es[j-1], es[j]
-		}
-	}
-}
+// Served from a cached per-AS snapshot; see sharded.go.
+func (s *Server) BlockedForAS(asn int) []Entry { return s.store.blockedForAS(asn) }
 
 // Revoke invalidates a UUID (§5: revoking identified malicious users [54]).
-func (s *Server) Revoke(uuid string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.revoked[uuid] = true
-}
+func (s *Server) Revoke(uuid string) { s.store.revoke(uuid) }
 
 // StatsSnapshot aggregates the Table-7 numbers from current state.
-func (s *Server) StatsSnapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := Stats{
-		Users:  len(s.users),
-		ByType: make(map[string]int),
-	}
-	urls := make(map[string]bool)
-	domains := make(map[string]bool)
-	ases := make(map[int]bool)
-	types := make(map[string]bool)
-	urlType := make(map[string]string)
-	for uuid, reports := range s.clients {
-		if s.revoked[uuid] {
-			continue
-		}
-		for _, r := range reports {
-			urls[r.url] = true
-			host, _ := localdb.SplitURL(r.url)
-			domains[host] = true
-			ases[r.asn] = true
-			primary := "unknown"
-			if len(r.stages) > 0 {
-				primary = localdb.BlockType(r.stages[0].Type).String()
-				if r.stages[0].Detail != "" {
-					primary = primary + ":" + r.stages[0].Detail
-				}
-			}
-			types[primaryClass(r.stages)] = true
-			urlType[r.url] = primaryClass(r.stages)
-			_ = primary
-		}
-	}
-	for _, cls := range urlType {
-		st.ByType[cls]++
-	}
-	st.BlockedURLs = len(urls)
-	st.BlockedDomains = len(domains)
-	st.ASes = len(ases)
-	st.BlockTypes = len(types)
-	st.Updates = s.updates
-	return st
-}
+func (s *Server) StatsSnapshot() Stats { return s.store.stats() }
 
 // primaryClass maps stage lists to the Table-7 reporting classes. DNS
 // evidence anywhere in the stages classifies the URL as DNS blocking —

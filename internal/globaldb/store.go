@@ -1,0 +1,39 @@
+package globaldb
+
+import "time"
+
+// store is the server's measurement state: registered users, their blocked-URL
+// reports, revocations, and the per-AS aggregation that backs /v1/blocked.
+// Two implementations exist: legacyStore, the original single-mutex design the
+// seed shipped with (kept as the honest baseline for the fleet throughput
+// benchmarks), and shardedStore, the fleet-scale default that shards user and
+// per-AS state and serves fetches from cached snapshots.
+type store interface {
+	// addUser registers a uuid (idempotent).
+	addUser(uuid string)
+	// ingest folds a client's report batch in. ok is false when the uuid is
+	// unknown or revoked. The updates counter is dedup-aware: only the first
+	// insertion of a (uuid, url|asn) key counts, so a client re-posting after
+	// a lost ack cannot inflate it.
+	ingest(uuid string, now time.Time, reports []Report) (accepted int, ok bool)
+	// blockedForAS returns the aggregated entries for an AS, sorted by URL.
+	blockedForAS(asn int) []Entry
+	// fetchResponse returns the marshaled FetchResponse body for an AS — the
+	// exact bytes /v1/blocked serves.
+	fetchResponse(asn int) []byte
+	// revoke invalidates a uuid's vote (§5).
+	revoke(uuid string)
+	// stats aggregates the Table-7 numbers.
+	stats() Stats
+}
+
+// clientReport is one stored (url, asn) measurement. Records are immutable
+// once created — a re-report replaces the pointer — so index readers holding
+// only a read lock always see a consistent record.
+type clientReport struct {
+	url    string
+	asn    int
+	stages []WireStage
+	tm     time.Time
+	tp     time.Time
+}

@@ -29,3 +29,44 @@ func BenchmarkLookupLongestPrefix(b *testing.B) {
 		_, _ = db.Lookup(fmt.Sprintf("site%d.example/banned/p/deep.html", i%50))
 	}
 }
+
+// BenchmarkLookupParallel measures the fleet-shaped read path: many
+// concurrent readers against a populated DB. With the RWMutex read path
+// lookups proceed in parallel instead of serializing behind one mutex —
+// compare against BenchmarkLookupContended, which mixes in writers.
+func BenchmarkLookupParallel(b *testing.B) {
+	db := New(vtime.New(1000), time.Hour, true)
+	for i := 0; i < 200; i++ {
+		db.Put(fmt.Sprintf("site%d.example/banned/p", i), 1, Blocked, []Stage{{Type: BlockHTTP}})
+		db.Put(fmt.Sprintf("site%d.example/", i), 1, NotBlocked, nil)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, _ = db.Lookup(fmt.Sprintf("site%d.example/banned/p/deep.html", i%200))
+			i++
+		}
+	})
+}
+
+// BenchmarkLookupContended is the mixed fleet workload: a 1:64
+// write:read ratio (clients mostly look up, occasionally record).
+func BenchmarkLookupContended(b *testing.B) {
+	db := New(vtime.New(1000), time.Hour, true)
+	for i := 0; i < 200; i++ {
+		db.Put(fmt.Sprintf("site%d.example/", i), 1, NotBlocked, nil)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%64 == 0 {
+				db.Put(fmt.Sprintf("site%d.example/", i%200), 1, NotBlocked, nil)
+			} else {
+				_, _ = db.Lookup(fmt.Sprintf("site%d.example/p.html", i%200))
+			}
+			i++
+		}
+	})
+}

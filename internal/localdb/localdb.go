@@ -143,7 +143,9 @@ func BaseURL(url string) string {
 	return host + "/"
 }
 
-// DB is the local database. All methods are safe for concurrent use.
+// DB is the local database. All methods are safe for concurrent use; the
+// read path (Lookup and the snapshot accessors) takes only a read lock, so
+// fleet-scale concurrent lookups do not serialize behind writers.
 type DB struct {
 	clock *vtime.Clock
 	ttl   time.Duration
@@ -151,7 +153,7 @@ type DB struct {
 	// turns it off.
 	aggregate bool
 
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[string]map[string]*Record // host → path → record
 }
 
@@ -175,15 +177,40 @@ func (db *DB) expired(r *Record) bool {
 
 // Lookup returns the record governing url and its effective status.
 // NotMeasured means no live record applies.
+//
+// Lookups run under the read lock; hitting an expired record upgrades to
+// the write lock only to purge it (the rare path — records expire once).
 func (db *DB) Lookup(url string) (Record, Status) {
 	host, path := SplitURL(url)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	paths := db.m[host]
-	if paths == nil {
+	db.mu.RLock()
+	best, r := db.matchLocked(host, path)
+	if r == nil {
+		db.mu.RUnlock()
 		return Record{}, NotMeasured
 	}
-	// Longest-prefix match over stored paths (§4.4 cases b+c).
+	if db.expired(r) {
+		db.mu.RUnlock()
+		db.purgeExpired(host, best)
+		return Record{}, NotMeasured
+	}
+	// A base-URL unblocked record does not vouch for unmeasured derived
+	// URLs when aggregation is off; with aggregation it does (case c).
+	if !db.aggregate && best != path {
+		db.mu.RUnlock()
+		return Record{}, NotMeasured
+	}
+	rec, status := *r, r.Status
+	db.mu.RUnlock()
+	return rec, status
+}
+
+// matchLocked finds the longest-prefix matching record for host/path
+// (§4.4 cases b+c). Caller holds db.mu (either mode).
+func (db *DB) matchLocked(host, path string) (string, *Record) {
+	paths := db.m[host]
+	if paths == nil {
+		return "", nil
+	}
 	best := ""
 	for p := range paths {
 		if pathCovers(p, path) && len(p) > len(best) {
@@ -191,22 +218,26 @@ func (db *DB) Lookup(url string) (Record, Status) {
 		}
 	}
 	if best == "" {
-		return Record{}, NotMeasured
+		return "", nil
 	}
-	r := paths[best]
-	if db.expired(r) {
-		delete(paths, best)
+	return best, paths[best]
+}
+
+// purgeExpired re-checks under the write lock and drops the record if it
+// is still present and stale.
+func (db *DB) purgeExpired(host, path string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	paths := db.m[host]
+	if paths == nil {
+		return
+	}
+	if r := paths[path]; r != nil && db.expired(r) {
+		delete(paths, path)
 		if len(paths) == 0 {
 			delete(db.m, host)
 		}
-		return Record{}, NotMeasured
 	}
-	// A base-URL unblocked record does not vouch for unmeasured derived
-	// URLs when aggregation is off; with aggregation it does (case c).
-	if !db.aggregate && best != path {
-		return Record{}, NotMeasured
-	}
-	return *r, r.Status
 }
 
 // pathCovers reports whether a stored path governs the queried path:
@@ -300,8 +331,8 @@ func (db *DB) MarkPosted(url string) {
 // PendingGlobal returns blocked, unexpired records not yet posted to the
 // global DB, sorted by URL for deterministic sync batches.
 func (db *DB) PendingGlobal() []Record {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Record
 	for _, paths := range db.m {
 		for _, r := range paths {
@@ -316,8 +347,8 @@ func (db *DB) PendingGlobal() []Record {
 
 // Len returns the number of live records (the Figure 6b metric).
 func (db *DB) Len() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for _, paths := range db.m {
 		for _, r := range paths {
@@ -350,8 +381,8 @@ func (db *DB) Expire() int {
 
 // Snapshot returns a copy of all live records, sorted by URL.
 func (db *DB) Snapshot() []Record {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Record
 	for _, paths := range db.m {
 		for _, r := range paths {

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -15,14 +16,41 @@ import (
 
 // Distribution is an accumulating empirical distribution. It is safe for
 // concurrent Add.
+//
+// Two modes exist. The exact mode (NewDistribution) stores every sample:
+// percentiles are exact, memory is O(n). The reservoir mode (NewReservoir)
+// keeps a bounded uniform sample via Vitter's Algorithm R plus exact
+// running count/sum/min/max, so fleet-scale runs can fold millions of PLT
+// samples into a fixed footprint; percentiles are then estimates over the
+// reservoir while N, Mean, Min and Max stay exact. The reservoir's
+// randomness comes from a caller-seeded source so same-seed runs keep the
+// repository's determinism guarantee.
 type Distribution struct {
 	mu     sync.Mutex
 	vals   []float64
 	sorted bool
+
+	// Reservoir state. cap == 0 means exact mode; then n == len(vals) and
+	// sum/min/max mirror the stored samples.
+	cap      int
+	rng      *rand.Rand
+	n        int64
+	sum      float64
+	min, max float64
 }
 
-// NewDistribution returns an empty distribution.
+// NewDistribution returns an empty exact distribution.
 func NewDistribution() *Distribution { return &Distribution{} }
+
+// NewReservoir returns a bounded distribution holding at most capacity
+// samples, replacing uniformly at random (Algorithm R) once full. The seed
+// drives the replacement choices; thread it from the experiment seed.
+func NewReservoir(capacity int, seed int64) *Distribution {
+	if capacity <= 0 {
+		panic("metrics: non-positive reservoir capacity")
+	}
+	return &Distribution{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
 
 // FromDurations builds a distribution of seconds from durations.
 func FromDurations(ds []time.Duration) *Distribution {
@@ -36,20 +64,53 @@ func FromDurations(ds []time.Duration) *Distribution {
 // Add records a value.
 func (d *Distribution) Add(v float64) {
 	d.mu.Lock()
-	d.vals = append(d.vals, v)
-	d.sorted = false
+	d.addLocked(v)
 	d.mu.Unlock()
+}
+
+// addLocked folds one observation in. Caller holds d.mu.
+func (d *Distribution) addLocked(v float64) {
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+	if d.cap == 0 || len(d.vals) < d.cap {
+		d.vals = append(d.vals, v)
+		d.sorted = false
+		return
+	}
+	// Algorithm R: the i-th observation (1-based) replaces a random slot
+	// with probability cap/i.
+	if j := d.rng.Int63n(d.n); j < int64(d.cap) {
+		d.vals[j] = v
+		d.sorted = false
+	}
 }
 
 // AddDuration records a duration in seconds.
 func (d *Distribution) AddDuration(v time.Duration) { d.Add(v.Seconds()) }
 
-// N returns the sample count.
+// N returns the number of observations (not the stored sample size).
 func (d *Distribution) N() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.n)
+}
+
+// SampleSize returns how many samples are held in memory: N() in exact
+// mode, at most the reservoir capacity otherwise.
+func (d *Distribution) SampleSize() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.vals)
 }
+
+// Sampled reports whether the distribution is a bounded reservoir.
+func (d *Distribution) Sampled() bool { return d.cap > 0 }
 
 func (d *Distribution) sortedVals() []float64 {
 	if !d.sorted {
@@ -84,39 +145,115 @@ func (d *Distribution) Percentile(p float64) float64 {
 // Median returns the 50th percentile.
 func (d *Distribution) Median() float64 { return d.Percentile(50) }
 
-// Mean returns the arithmetic mean, or NaN when empty.
+// Mean returns the arithmetic mean over every observation (exact in both
+// modes), or NaN when empty.
 func (d *Distribution) Mean() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.vals) == 0 {
+	if d.n == 0 {
 		return math.NaN()
 	}
-	s := 0.0
-	for _, v := range d.vals {
-		s += v
-	}
-	return s / float64(len(d.vals))
+	return d.sum / float64(d.n)
 }
 
-// Min returns the smallest sample, or NaN.
+// Min returns the smallest observation (exact in both modes), or NaN.
 func (d *Distribution) Min() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.vals) == 0 {
+	if d.n == 0 {
 		return math.NaN()
 	}
-	return d.sortedVals()[0]
+	return d.min
 }
 
-// Max returns the largest sample, or NaN.
+// Max returns the largest observation (exact in both modes), or NaN.
 func (d *Distribution) Max() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.vals) == 0 {
+	if d.n == 0 {
 		return math.NaN()
 	}
-	vals := d.sortedVals()
-	return vals[len(vals)-1]
+	return d.max
+}
+
+// Merge folds another distribution's observations into d. In exact mode
+// (both exact) the samples are concatenated. When d is a reservoir, the
+// merged reservoir is a uniform sample of the union: slots are drawn from
+// the two source samples in proportion to the observation counts they
+// represent, so a 10k-observation reservoir outweighs a 100-observation
+// one. The other distribution is snapshotted first and never mutated, and
+// the two locks are never held together, so concurrent Merges in opposite
+// directions cannot deadlock.
+//
+// Merging a sampled distribution into an exact one promotes d to a
+// reservoir (capacity and seed taken from the source) — the union cannot
+// be exact once either side has forgotten samples.
+func (d *Distribution) Merge(o *Distribution) {
+	if o == nil || d == o {
+		return
+	}
+	o.mu.Lock()
+	ovals := append([]float64(nil), o.vals...)
+	on, osum, omin, omax, ocap := o.n, o.sum, o.min, o.max, o.cap
+	o.mu.Unlock()
+	if on == 0 {
+		return
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cap == 0 && ocap > 0 {
+		// Promote: d's exact samples become a full reservoir of themselves.
+		d.cap = ocap
+		if d.cap < len(d.vals) {
+			d.cap = len(d.vals)
+		}
+		d.rng = rand.New(rand.NewSource(int64(len(d.vals))*2654435761 + on))
+	}
+	if d.n == 0 || omin < d.min {
+		d.min = omin
+	}
+	if d.n == 0 || omax > d.max {
+		d.max = omax
+	}
+	if d.cap == 0 {
+		// Exact + exact: concatenate.
+		d.vals = append(d.vals, ovals...)
+		d.sorted = false
+		d.n += on
+		d.sum += osum
+		return
+	}
+	// Weighted reservoir merge: fill the target by drawing without
+	// replacement from the two samples, choosing the source of each slot
+	// in proportion to the remaining observation mass it represents.
+	a, b := d.vals, ovals
+	wa, wb := float64(d.n), float64(on)
+	merged := make([]float64, 0, d.cap)
+	ra := rand.New(rand.NewSource(d.rng.Int63()))
+	for len(merged) < d.cap && (len(a) > 0 || len(b) > 0) {
+		pickA := len(b) == 0
+		if len(a) > 0 && len(b) > 0 {
+			pickA = ra.Float64() < wa/(wa+wb)
+		}
+		if pickA {
+			i := ra.Intn(len(a))
+			merged = append(merged, a[i])
+			a[i] = a[len(a)-1]
+			a = a[:len(a)-1]
+			wa -= float64(d.n) / float64(max(len(d.vals), 1))
+		} else {
+			i := ra.Intn(len(b))
+			merged = append(merged, b[i])
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			wb -= float64(on) / float64(max(len(ovals), 1))
+		}
+	}
+	d.vals = merged
+	d.sorted = false
+	d.n += on
+	d.sum += osum
 }
 
 // CDFPoint is one (value, cumulative fraction) pair.

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drawLognormal produces a heavy-tailed sample stream shaped like fleet
+// PLT measurements (most sub-second, a long blocked-detection tail).
+func drawLognormal(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(rng.NormFloat64()*0.8 - 0.5)
+	}
+	return out
+}
+
+// relErr is the relative error of got vs want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestReservoirPercentilesTrackExact is the property test: a bounded
+// reservoir's percentile estimates over a large stream must track the
+// exact percentiles within a few percent, while holding only `cap`
+// samples, and its N/Mean/Min/Max must be exact.
+func TestReservoirPercentilesTrackExact(t *testing.T) {
+	const (
+		n   = 200_000
+		cap = 2048
+	)
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		vals := drawLognormal(rng, n)
+		exact := NewDistribution()
+		res := NewReservoir(cap, seed*31)
+		for _, v := range vals {
+			exact.Add(v)
+			res.Add(v)
+		}
+		if res.N() != n {
+			t.Fatalf("seed %d: reservoir N = %d, want %d", seed, res.N(), n)
+		}
+		if got := res.SampleSize(); got != cap {
+			t.Fatalf("seed %d: sample size = %d, want %d", seed, got, cap)
+		}
+		if res.Mean() != exact.Mean() {
+			t.Errorf("seed %d: mean %v != exact %v", seed, res.Mean(), exact.Mean())
+		}
+		if res.Min() != exact.Min() || res.Max() != exact.Max() {
+			t.Errorf("seed %d: min/max (%v,%v) != exact (%v,%v)",
+				seed, res.Min(), res.Max(), exact.Min(), exact.Max())
+		}
+		for _, p := range []float64{10, 25, 50, 75, 90, 95} {
+			e, g := exact.Percentile(p), res.Percentile(p)
+			if relErr(g, e) > 0.08 {
+				t.Errorf("seed %d: p%.0f estimate %.4f vs exact %.4f (err %.1f%%)",
+					seed, p, g, e, 100*relErr(g, e))
+			}
+		}
+	}
+}
+
+// TestReservoirDeterministic: same seed, same stream → identical sample.
+func TestReservoirDeterministic(t *testing.T) {
+	build := func() *Distribution {
+		rng := rand.New(rand.NewSource(5))
+		d := NewReservoir(128, 99)
+		for _, v := range drawLognormal(rng, 10_000) {
+			d.Add(v)
+		}
+		return d
+	}
+	a, b := build(), build()
+	for _, p := range []float64{1, 50, 99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("p%.0f differs across same-seed reservoirs: %v vs %v",
+				p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}
+
+// TestMergeExact: exact+exact merge concatenates and percentiles equal a
+// single distribution over the union.
+func TestMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := drawLognormal(rng, 5000)
+	whole := NewDistribution()
+	a, b := NewDistribution(), NewDistribution()
+	for i, v := range vals {
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, p := range []float64{10, 50, 90} {
+		if a.Percentile(p) != whole.Percentile(p) {
+			t.Errorf("p%.0f merged %v != whole %v", p, a.Percentile(p), whole.Percentile(p))
+		}
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v != whole %v", a.Mean(), whole.Mean())
+	}
+}
+
+// TestMergeReservoirs is the fleet-shaped property: per-worker reservoirs
+// merged into one must estimate the union's percentiles. Workers see
+// different value scales so a broken (unweighted) merge would skew hard.
+func TestMergeReservoirs(t *testing.T) {
+	const cap = 2048
+	rng := rand.New(rand.NewSource(11))
+	exact := NewDistribution()
+	merged := NewReservoir(cap, 1)
+	for w := 0; w < 8; w++ {
+		part := NewReservoir(cap, int64(w)+100)
+		// Uneven worker sizes: the merge must weight by observation count.
+		n := 5_000 * (w + 1)
+		for _, v := range drawLognormal(rng, n) {
+			scaled := v * (1 + 0.1*float64(w))
+			exact.Add(scaled)
+			part.Add(scaled)
+		}
+		merged.Merge(part)
+	}
+	if merged.N() != exact.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), exact.N())
+	}
+	// Summation order differs between the two accumulations, so compare up
+	// to float rounding.
+	if relErr(merged.Mean(), exact.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v != exact %v", merged.Mean(), exact.Mean())
+	}
+	for _, p := range []float64{25, 50, 75, 90, 95} {
+		e, g := exact.Percentile(p), merged.Percentile(p)
+		if relErr(g, e) > 0.12 {
+			t.Errorf("p%.0f merged %.4f vs exact %.4f (err %.1f%%)",
+				p, g, e, 100*relErr(g, e))
+		}
+	}
+}
+
+// TestMergePromotesExact: merging a reservoir into an exact distribution
+// must not silently pretend exactness.
+func TestMergePromotesExact(t *testing.T) {
+	exact := NewDistribution()
+	for i := 0; i < 100; i++ {
+		exact.Add(float64(i))
+	}
+	res := NewReservoir(64, 9)
+	for i := 0; i < 10_000; i++ {
+		res.Add(float64(i % 500))
+	}
+	exact.Merge(res)
+	if !exact.Sampled() {
+		t.Fatal("exact distribution not promoted to sampled after reservoir merge")
+	}
+	if exact.N() != 10_100 {
+		t.Fatalf("N = %d, want 10100", exact.N())
+	}
+	if exact.SampleSize() > 100+64 {
+		t.Fatalf("sample size %d exceeds both sources", exact.SampleSize())
+	}
+}

@@ -82,6 +82,16 @@ func Serve(host *netem.Host, port int, lookup Lookup) (*Server, error) {
 // Addr returns the proxy's dial address.
 func (s *Server) Addr() string { return s.l.Addr().String() }
 
+// SetTimeout replaces the per-exchange idle timeout (virtual). Population-
+// scale runs raise it: at high clock scales a short virtual timeout is only
+// milliseconds of real slack, and scheduler stalls would sever healthy
+// tunnels. Call before the proxy carries traffic.
+func (s *Server) SetTimeout(d time.Duration) {
+	if d > 0 {
+		s.timeout = d
+	}
+}
+
 // Close stops the proxy.
 func (s *Server) Close() error { return s.l.Close() }
 

@@ -95,6 +95,7 @@ type World struct {
 	Lantern *lantern.Network
 	// StaticProxies maps Table-2 proxy names to dial addresses.
 	StaticProxies map[string]string
+	proxySrvs     map[string]*proxynet.Server
 
 	Front *web.Origin // the CDN/front origin (FrontHost + frontable sites)
 
@@ -129,6 +130,7 @@ func New(o Options) (*World, error) {
 		Registry:      dnsx.NewRegistry(),
 		ISPs:          make(map[string]*ISP),
 		StaticProxies: make(map[string]string),
+		proxySrvs:     make(map[string]*proxynet.Server),
 	}
 
 	// Latency matrix. "pk" is the censored client region; "us" hosts the
@@ -249,9 +251,20 @@ func New(o Options) (*World, error) {
 			return nil, err
 		}
 		w.StaticProxies[name] = srv.Addr()
+		w.proxySrvs[name] = srv
 	}
 
 	return w, nil
+}
+
+// RelaxProxyTimeouts raises every static proxy's idle timeout. Population-
+// scale scenarios call it before driving traffic: at high clock scales the
+// default 30 virtual seconds is milliseconds of real slack, and a scheduler
+// stall would sever healthy tunnels mid-fetch.
+func (w *World) RelaxProxyTimeouts(d time.Duration) {
+	for _, srv := range w.proxySrvs {
+		srv.SetTimeout(d)
+	}
 }
 
 // nextIP allocates addresses under a /16-style prefix. Deployment-scale
