@@ -7,10 +7,13 @@
 #   make check       — vet + race + lint (the pre-merge gate alongside tier1)
 #   make bench-fleet — emit BENCH_fleet.json (fleet throughput + the
 #                      sharded-vs-legacy global-DB sync-round comparison)
+#   make golden      — regenerate the flight-recorder golden trace artifact
+#   make fuzz        — short fuzz pass over the dnsx/httpx wire codecs
+#   make cover       — coverage for core+detect+trace, gated on COVERAGE.md
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check bench-fleet
+.PHONY: all build test tier1 vet lint race check bench-fleet golden fuzz cover
 
 all: tier1
 
@@ -35,3 +38,26 @@ check: vet race lint
 
 bench-fleet:
 	CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v
+
+# Regenerate internal/core/testdata/trace_golden.jsonl after intentional
+# recorder or protocol changes; the test still asserts its structural
+# invariants (span count, timeout-phase events) before blessing the bytes.
+golden:
+	CSAW_UPDATE_GOLDEN=1 $(GO) test ./internal/core -run TestGoldenTrace -count=1
+
+# One short engine pass per wire-codec fuzz target; the checked-in seed
+# corpora under testdata/fuzz/ always run as plain regression subtests.
+fuzz:
+	$(GO) test ./internal/dnsx -run '^$$' -fuzz FuzzMessageDecode -fuzztime 10s
+	$(GO) test ./internal/httpx -run '^$$' -fuzz FuzzReadResponse -fuzztime 10s
+	$(GO) test ./internal/httpx -run '^$$' -fuzz FuzzReadRequest -fuzztime 10s
+
+# Combined statement coverage over the measurement pipeline (core + detect
+# + trace), gated against the baseline recorded in COVERAGE.md.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/detect ./internal/trace
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	base=$$(awk '/^baseline:/ { sub(/%/, "", $$2); print $$2 }' COVERAGE.md); \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { \
+		if (t + 0 < b + 0) { printf "FAIL: coverage %.1f%% below baseline %.1f%% (COVERAGE.md)\n", t, b; exit 1 } \
+		printf "coverage %.1f%% (baseline %.1f%%)\n", t, b }'

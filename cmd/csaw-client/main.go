@@ -7,6 +7,12 @@
 // Usage:
 //
 //	echo "www.youtube.com/" | csaw-client [-isp A|B] [-anon] [-scale S]
+//	                                      [-trace trace.jsonl]
+//
+// -trace streams one flight-recorder span per fetch as JSONL, in the
+// human-facing timing profile (durations quantized to 100ms of virtual
+// time): every DNS attempt, dial verdict, TLS hello, selection decision,
+// and the PLT phase breakdown. A per-source phase summary prints at exit.
 package main
 
 import (
@@ -18,15 +24,17 @@ import (
 	"strings"
 
 	"csaw/internal/core"
+	"csaw/internal/trace"
 	"csaw/internal/worldgen"
 )
 
 func main() {
 	var (
-		ispName = flag.String("isp", "A", "which case-study ISP to sit behind: A or B")
-		anon    = flag.Bool("anon", false, "prefer anonymity (Tor-only circumvention)")
-		scale   = flag.Float64("scale", 300, "virtual clock scale")
-		seed    = flag.Int64("seed", 1, "random seed")
+		ispName  = flag.String("isp", "A", "which case-study ISP to sit behind: A or B")
+		anon     = flag.Bool("anon", false, "prefer anonymity (Tor-only circumvention)")
+		scale    = flag.Float64("scale", 300, "virtual clock scale")
+		seed     = flag.Int64("seed", 1, "random seed")
+		traceOut = flag.String("trace", "", "write flight-recorder spans as JSONL to this file (timing profile)")
 	)
 	flag.Parse()
 
@@ -46,6 +54,17 @@ func main() {
 	cfg := w.ClientConfig(host, *seed)
 	if *anon {
 		cfg.Pref = core.PreferAnonymity
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = trace.New(w.Clock, trace.NewStreamSink(f), trace.WithTiming(trace.DefaultTick))
+		cfg.Trace = tracer
+		fmt.Fprintf(os.Stderr, "tracing every fetch to %s\n", *traceOut)
 	}
 	client, err := core.New(cfg)
 	if err != nil {
@@ -108,6 +127,11 @@ func main() {
 		}
 	}
 	client.WaitIdle()
+	if tracer != nil {
+		if b := tracer.Breakdown(); b != "" {
+			fmt.Print(b)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	csaw-experiments [-run all|id1,id2,...] [-runs N] [-scale S] [-seed N] [-list]
+//	csaw-experiments [-run all|id1,id2,...] [-runs N] [-scale S] [-seed N]
+//	                 [-trace trace.jsonl] [-list]
 //
 // Each experiment prints its rendered table/summary and key metrics; the
 // IDs match the paper artifacts (table1, figure5a, ...). See DESIGN.md for
 // the per-experiment index and EXPERIMENTS.md for recorded paper-vs-
 // measured results.
+//
+// -trace hands trace-aware experiments (trace-breakdown) a flight recorder
+// streaming JSONL spans, in the human-facing timing profile, to the given
+// file; experiments that build several worlds share the one stream.
 package main
 
 import (
@@ -19,15 +24,18 @@ import (
 	"time"
 
 	"csaw/internal/experiments"
+	"csaw/internal/trace"
+	"csaw/internal/vtime"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		runs  = flag.Int("runs", 0, "override per-series sample count (0 = paper defaults)")
-		scale = flag.Float64("scale", 0, "virtual clock scale (0 = per-experiment default)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		runs     = flag.Int("runs", 0, "override per-series sample count (0 = paper defaults)")
+		scale    = flag.Float64("scale", 0, "virtual clock scale (0 = per-experiment default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		traceOut = flag.String("trace", "", "write flight-recorder spans from trace-aware experiments as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +61,21 @@ func main() {
 	}
 
 	opts := experiments.Options{Runs: *runs, Scale: *scale, Seed: *seed}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csaw-experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// One shared stream: each trace-aware experiment builds its world
+		// (and clock) lazily, so Options carries a factory, not a tracer.
+		sink := trace.NewStreamSink(f)
+		opts.Trace = func(clock *vtime.Clock) *trace.Tracer {
+			return trace.New(clock, sink, trace.WithTiming(trace.DefaultTick))
+		}
+		fmt.Fprintf(os.Stderr, "tracing trace-aware experiments to %s\n", *traceOut)
+	}
 	fmt.Printf("seed: %d\n\n", *seed)
 	failed := 0
 	for _, r := range selected {

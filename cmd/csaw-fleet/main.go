@@ -9,6 +9,12 @@
 //	csaw-fleet [-population N] [-duration D] [-seed N]
 //	           [-sites N] [-isps N] [-blocked-frac F]
 //	           [-scale S] [-workers N] [-o measured.json] [-progress]
+//	           [-trace trace.jsonl] [-trace-sample N]
+//
+// -trace streams flight-recorder spans (sampled 1-in-N URLs, deterministic
+// hash) as JSONL. Tracing forces workers=1 and serial clients so the trace
+// content — not just the summary — is byte-identical across same-seed runs;
+// expect a slower wall clock.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"csaw/internal/fleet"
+	"csaw/internal/trace"
 	"csaw/internal/worldgen"
 )
 
@@ -35,6 +42,8 @@ func main() {
 		workers     = flag.Int("workers", fleet.DefaultWorkers, "driver worker-pool size")
 		out         = flag.String("o", "", "write the measured (timing-dependent) section as JSON to this file")
 		progress    = flag.Bool("progress", false, "print live counters to stderr every virtual minute")
+		traceOut    = flag.String("trace", "", "write flight-recorder spans as JSONL to this file (forces workers=1, serial clients)")
+		traceSample = flag.Int("trace-sample", trace.DefaultSampleN, "trace one URL in N (deterministic hash-of-URL)")
 	)
 	flag.Parse()
 
@@ -62,6 +71,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "plan: %s (scale %g, %d workers)\n", plan, *scale, *workers)
 
 	opts := fleet.Options{Workers: *workers}
+	var traceFile *os.File
+	var traceSink *trace.SortedSink
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		// Deterministic-trace discipline: a parallel fleet's per-fetch branch
+		// choices depend on cross-client sync timing, so trace content is
+		// only byte-stable when the whole run is single-threaded.
+		opts.Workers = 1
+		opts.SerialClients = true
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceSink = trace.NewSortedSink(traceFile)
+		tracer = trace.New(w.Clock, traceSink, trace.WithSampling(*traceSample))
+		opts.Trace = tracer
+		fmt.Fprintf(os.Stderr, "tracing to %s (1 in %d URLs; workers=1, serial clients)\n", *traceOut, *traceSample)
+	}
 	if *progress {
 		opts.Progress = func(s fleet.Snapshot) {
 			fmt.Fprintf(os.Stderr, "[%7.0fs virtual] joined %d left %d | sessions %d fetches %d (%d err) | syncs %d (%d err) | goroutines %d\n",
@@ -76,6 +103,17 @@ func main() {
 	}
 	//lint:allow-realtime reporting wall-clock runtime to the operator
 	fmt.Fprintf(os.Stderr, "run finished in %.1fs wall\n", time.Since(start).Seconds())
+
+	if tracer != nil {
+		if err := traceSink.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		started, sampled := tracer.Stats()
+		fmt.Fprintf(os.Stderr, "trace: %d spans recorded of %d fetches\n", sampled, started)
+	}
 
 	// stdout carries only the deterministic summary — the byte-identical
 	// same-seed artifact.

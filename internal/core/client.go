@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csaw/internal/blockpage"
@@ -15,6 +16,7 @@ import (
 	"csaw/internal/localdb"
 	"csaw/internal/metrics"
 	"csaw/internal/netem"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -108,6 +110,10 @@ type Config struct {
 	// DNS blocking, so fleet runs give it stall headroom.
 	DNSAttemptTimeout time.Duration
 
+	// Trace, when set, records a flight-recorder span for every (sampled)
+	// FetchURL: per-lane protocol events and the PLT phase breakdown.
+	Trace *trace.Tracer
+
 	Pref  Preference
 	Trust globaldb.TrustFilter
 	Seed  int64
@@ -128,6 +134,9 @@ type Client struct {
 	det   *detect.Detector
 	ldns  *dnsx.Client
 	gdns  *dnsx.Client
+
+	tracer   *trace.Tracer
+	traceSeq atomic.Uint64 // per-client span sequence number
 
 	sem chan struct{} // client connection-load budget
 
@@ -172,6 +181,7 @@ func New(cfg Config) (*Client, error) {
 	c := &Client{
 		cfg:         cfg,
 		clock:       cfg.Clock,
+		tracer:      cfg.Trace,
 		db:          localdb.New(cfg.Clock, cfg.TTL, !cfg.NoAggregate),
 		ldns:        ldns,
 		gdns:        gdns,

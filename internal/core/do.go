@@ -7,6 +7,7 @@ import (
 	"csaw/internal/globaldb"
 	"csaw/internal/httpx"
 	"csaw/internal/localdb"
+	"csaw/internal/trace"
 )
 
 // Do proxies an arbitrary HTTP request. Non-idempotent methods are never
@@ -34,7 +35,7 @@ func (c *Client) Do(ctx context.Context, req *httpx.Request) (*Result, error) {
 
 	start := c.clock.Now()
 	if status == localdb.Blocked {
-		app := c.selectApproach(url, stages)
+		app := c.selectApproach(trace.SpanFromContext(ctx), url, stages)
 		if app == nil {
 			return nil, fmt.Errorf("core: no approach can carry %s %s", req.Method, url)
 		}

@@ -11,6 +11,7 @@ import (
 	"csaw/internal/globaldb"
 	"csaw/internal/httpx"
 	"csaw/internal/localdb"
+	"csaw/internal/trace"
 )
 
 // Result is one proxied URL fetch.
@@ -42,6 +43,13 @@ func (c *Client) FetchURL(ctx context.Context, url string) (res *Result) {
 	defer func() { res.Took = c.clock.Since(start) }()
 
 	url = localdb.JoinURL(localdb.SplitURL(url))
+	// Flight recorder: one span per fetch; emission waits for background
+	// lanes (the redundant copy can outlive this call).
+	sp := c.tracer.Start(c.cfg.Host.Name(), c.traceSeq.Add(1), url)
+	if sp != nil {
+		ctx = trace.WithSpan(ctx, sp)
+		defer func() { sp.Finish(res.Source, res.Status.String(), res.Err) }()
+	}
 	rec, status := c.db.Lookup(url)
 	stages := rec.Stages
 	fromGlobal := false
@@ -58,6 +66,13 @@ func (c *Client) FetchURL(ctx context.Context, url string) (res *Result) {
 		// §4.4: under multihoming, circumvent for the union of the blocking
 		// observed across providers (the "more strict censorship").
 		stages = c.mergedStages(url, stages)
+	}
+	if sp != nil {
+		detail := status.String()
+		if fromGlobal {
+			detail += " global"
+		}
+		sp.Event("db", "lookup", detail)
 	}
 
 	switch status {
@@ -112,7 +127,9 @@ func (c *Client) recordOutcome(url string, status localdb.Status, stages []local
 // path (which implicitly measures it — churn scenario B) without a
 // redundant copy (selective redundancy, §4.3.1).
 func (c *Client) fetchKnownClean(ctx context.Context, url string) *Result {
-	out := c.det.Measure(ctx, url, detect.HTTP)
+	lane := trace.SpanFromContext(ctx).Lane("direct")
+	out := c.det.Measure(trace.WithLane(ctx, lane), url, detect.HTTP)
+	lane.Close()
 	if !out.Blocked() {
 		c.recordOutcome(url, localdb.NotBlocked, nil)
 		c.bump("served-direct")
@@ -127,8 +144,11 @@ func (c *Client) fetchKnownClean(ctx context.Context, url string) *Result {
 // fetchUnmeasured handles status not-measured: redundant requests on the
 // direct path and one or more circumvention paths (§4.3.1).
 func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
+	sp := trace.SpanFromContext(ctx)
 	if c.cfg.Serial {
-		out := c.det.Measure(ctx, url, detect.HTTP)
+		lane := sp.Lane("direct")
+		out := c.det.Measure(trace.WithLane(ctx, lane), url, detect.HTTP)
+		lane.Close()
 		if !out.Blocked() {
 			c.recordOutcome(url, localdb.NotBlocked, nil)
 			c.bump("served-direct")
@@ -137,8 +157,15 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 		return c.confirmAndServe(ctx, url, out)
 	}
 
+	// The direct lane is opened before the goroutine launches so the span
+	// cannot emit before the background measurement lands its events.
+	directLane := sp.Lane("direct")
 	directCh := make(chan detect.Outcome, 1)
-	go func() { directCh <- c.det.Measure(ctx, url, detect.HTTP) }()
+	go func() {
+		out := c.det.Measure(trace.WithLane(ctx, directLane), url, detect.HTTP)
+		directLane.Close()
+		directCh <- out
+	}()
 
 	circumCh := make(chan circumOut, 1)
 	launchNow := make(chan struct{})
@@ -149,7 +176,12 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 	// phase 2 can still catch a phase-1 false negative (§4.3.1). The
 	// transport's own timeout bounds it.
 	cctx := context.WithoutCancel(ctx)
+	// The copy goroutine opens circumvention lanes after this call may have
+	// returned; the hold keeps the span from emitting (and being pool-
+	// recycled) until it is done.
+	sp.Hold()
 	go func() {
+		defer sp.Release()
 		if d := c.cfg.RedundantDelay; d > 0 {
 			// Staggered copy: if the direct path answers within the delay,
 			// the redundant request is never sent (§7.1, footnote 10).
@@ -352,7 +384,7 @@ func dropBlockPageStage(stages []localdb.Stage) []localdb.Stage {
 // (§4.3.1 "low overhead vs resilience to false reports"). Local-fix URLs
 // use the direct path anyway, which measures it by default (Table 6 note).
 func (c *Client) fetchBlocked(ctx context.Context, url string, stages []localdb.Stage, fromGlobal bool) *Result {
-	app := c.selectApproach(url, stages)
+	app := c.selectApproach(trace.SpanFromContext(ctx), url, stages)
 	if fromGlobal && c.roll() < c.cfg.p() {
 		// Validate the global report against the direct path. The
 		// measurement runs in the background but draws on the client's

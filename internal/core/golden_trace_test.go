@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"csaw/internal/core"
+	"csaw/internal/trace"
+	"csaw/internal/worldgen"
+)
+
+const goldenTracePath = "testdata/trace_golden.jsonl"
+
+// goldenTraceRun plays a fixed scenario behind ISP-B — the multi-stage
+// censor of Table 1 — through one serial client with the deterministic
+// trace profile, and returns the sorted JSONL artifact. The URL list walks
+// the blocking spectrum: a clean site, YouTube (DNS redirect + SNI drop +
+// HTTP drop, so detection concludes via timeout verdicts), an iframe block
+// page, an NXDOMAIN host, and a repeat of the blocked URL (served from the
+// local_DB through the selected approach instead of re-measuring).
+func goldenTraceRun(t *testing.T) string {
+	t.Helper()
+	w, err := worldgen.New(worldgen.Options{Scale: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ispB, err := w.CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := w.NewClientHost("golden", ispB)
+	cfg := w.ClientConfig(host, 11)
+	cfg.Serial = true
+
+	var buf bytes.Buffer
+	sink := trace.NewSortedSink(&buf)
+	cfg.Trace = trace.New(w.Clock, sink) // deterministic profile: no durations
+
+	client, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+
+	urls := []string{
+		worldgen.NewsHost + "/",
+		worldgen.YouTubeHost + "/",
+		worldgen.PornHost + "/",
+		"no-such.example/",
+		worldgen.YouTubeHost + "/",
+	}
+	for _, url := range urls {
+		fetchURL(t, client, url)
+		client.WaitIdle() // drain background settlement before the next span
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.String()
+}
+
+// TestGoldenTrace byte-compares the scenario's trace against the checked-in
+// golden artifact. Regenerate with `make golden` (CSAW_UPDATE_GOLDEN=1)
+// after intentional recorder or protocol changes — the diff then documents
+// exactly what the change did to the observable fetch pipeline.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenTraceRun(t)
+
+	// Structural invariants first, so a regeneration can't silently bless a
+	// trace that lost the interesting events.
+	if n := strings.Count(got, "\n"); n != 5 {
+		t.Fatalf("trace has %d spans, want 5 (one per fetch)", n)
+	}
+	if !strings.Contains(got, `"timeout-phase"`) {
+		t.Error("no timeout-phase detect events: ISP-B's drop stages must surface timeout verdicts")
+	}
+	for _, want := range []string{`"dns"`, `"select"`, `"verdict"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace missing %s events", want)
+		}
+	}
+
+	if os.Getenv("CSAW_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace updated: %d bytes", len(got))
+	}
+
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("read golden (run `make golden` to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace diverged from golden (run `make golden` if intentional):\n--- got ---\n%s--- golden ---\n%s",
+			firstTraceDiff(got, string(want)), firstTraceDiff(string(want), got))
+	}
+
+	// Same-process, same-seed replay must be byte-identical: the recorder
+	// may not leak pool state or map order between runs.
+	again := goldenTraceRun(t)
+	if again != got {
+		t.Errorf("second in-process run diverged:\n%s", firstTraceDiff(got, again))
+	}
+}
+
+// firstTraceDiff returns the lines around the first divergence between two
+// JSONL artifacts.
+func firstTraceDiff(a, b string) string {
+	la, lb := strings.SplitAfter(a, "\n"), strings.SplitAfter(b, "\n")
+	for i := range la {
+		if i >= len(lb) || la[i] != lb[i] {
+			lo := i - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 2
+			if hi > len(la) {
+				hi = len(la)
+			}
+			return strings.Join(la[lo:hi], "")
+		}
+	}
+	return "(prefix of the other artifact)\n"
+}

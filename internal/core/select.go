@@ -9,6 +9,7 @@ import (
 	"csaw/internal/httpx"
 	"csaw/internal/localdb"
 	"csaw/internal/metrics"
+	"csaw/internal/trace"
 	"csaw/internal/web"
 )
 
@@ -17,7 +18,7 @@ import (
 // average among relays, with a random choice every n-th access to keep
 // exploring. Unknown stages (nil) mean "we don't know the mechanism yet",
 // which only relays are guaranteed to beat.
-func (c *Client) selectApproach(url string, stages []localdb.Stage) *Approach {
+func (c *Client) selectApproach(sp *trace.Span, url string, stages []localdb.Stage) *Approach {
 	var locals, relays []*Approach
 	for _, a := range c.cfg.Approaches {
 		if c.cfg.Pref == PreferAnonymity && !a.Anonymous {
@@ -31,7 +32,9 @@ func (c *Client) selectApproach(url string, stages []localdb.Stage) *Approach {
 		}
 	}
 	if len(locals) > 0 {
-		return c.bestByEWMA(url, locals)
+		a := c.bestByEWMA(url, locals)
+		c.traceChoice(sp, url, a, "local-fix", locals)
+		return a
 	}
 	if len(relays) == 0 {
 		return nil
@@ -50,9 +53,32 @@ func (c *Client) selectApproach(url string, stages []localdb.Stage) *Approach {
 	c.mu.Unlock()
 	if explore && len(relays) > 1 {
 		c.bump("explore")
-		return relays[c.pick(len(relays))]
+		a := relays[c.pick(len(relays))]
+		c.traceChoice(sp, url, a, "explore", relays)
+		return a
 	}
-	return c.bestByEWMA(url, relays)
+	a := c.bestByEWMA(url, relays)
+	c.traceChoice(sp, url, a, "best-ewma", relays)
+	return a
+}
+
+// traceChoice records the selection decision on the span: every candidate
+// with its current moving average (the EWMA inputs, numeric only in the
+// timing profile), then the chosen approach with the reason.
+func (c *Client) traceChoice(sp *trace.Span, url string, chosen *Approach, reason string, candidates []*Approach) {
+	if sp == nil || chosen == nil {
+		return
+	}
+	for _, a := range candidates {
+		v := 0.0
+		if e := c.ewmaFor(a, url, false); e != nil {
+			if val, ok := e.Value(); ok {
+				v = val
+			}
+		}
+		sp.EventNum("select", "candidate", a.Name, v)
+	}
+	sp.Event("select", "chosen", chosen.Name+" "+reason)
 }
 
 // pick draws a uniform index.
@@ -113,7 +139,8 @@ func (c *Client) ewmaFor(a *Approach, url string, create bool) *metrics.EWMA {
 
 // circumFetch selects an approach and fetches through it.
 func (c *Client) circumFetch(ctx context.Context, url string, stages []localdb.Stage) (*httpx.Response, string, error) {
-	return c.circumFetchVia(ctx, c.selectApproach(url, stages), url, stages)
+	app := c.selectApproach(trace.SpanFromContext(ctx), url, stages)
+	return c.circumFetchVia(ctx, app, url, stages)
 }
 
 // circumFetchVia fetches via a specific approach, racing cfg.Copies
@@ -129,14 +156,17 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 	if copies <= 0 {
 		copies = 1
 	}
+	sp := trace.SpanFromContext(ctx)
 	var firstErr error
 	for attempt, a := range c.candidateOrder(url, stages, app) {
 		if attempt > 0 {
 			c.bump("failover")
 			copies = 1 // redundancy was for the chosen approach only
 		}
+		lane := sp.Lane(a.Name)
+		lane.Event("circum", "attempt", a.Name)
 		start := c.clock.Now()
-		resp, err := c.raceCopies(ctx, a, copies, host, path)
+		resp, err := c.raceCopies(trace.WithLane(ctx, lane), a, copies, host, path)
 		if err == nil && resp.StatusCode >= 400 {
 			// The approach reached *a* server but not the content (e.g. an
 			// IP-addressed request to shared hosting): a failed
@@ -144,10 +174,17 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 			err = fmt.Errorf("core: %s returned %d for %s", a.Name, resp.StatusCode, url)
 		}
 		if err == nil {
-			c.ewmaObserve(a, url, c.clock.Since(start).Seconds())
+			seconds := c.clock.Since(start).Seconds()
+			lane.Event("circum", "ok", a.Name)
+			lane.Close()
+			sp.EventNum("select", "observe", a.Name, seconds)
+			c.ewmaObserve(a, url, seconds)
 			return resp, a.Name, nil
 		}
-		c.ewmaObserve(a, url, 120)
+		lane.Event("circum", "fail", err.Error())
+		lane.Close()
+		sp.EventNum("select", "observe", a.Name, failurePenaltySeconds)
+		c.ewmaObserve(a, url, failurePenaltySeconds)
 		if firstErr == nil {
 			firstErr = fmt.Errorf("core: circumvention via %s failed: %w", a.Name, err)
 		}
@@ -157,6 +194,11 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 	}
 	return nil, app.Name, firstErr
 }
+
+// failurePenaltySeconds is the EWMA penalty a failed circumvention attempt
+// observes — far above any plausible PLT, so a failing approach sinks in
+// the §4.3.2 ordering until successes pull it back.
+const failurePenaltySeconds = 120
 
 // candidateOrder is the failover sequence: the selected approach, then the
 // other applicable local fixes, then relays, each tier in EWMA order.

@@ -28,6 +28,7 @@ import (
 	"csaw/internal/localdb"
 	"csaw/internal/netem"
 	"csaw/internal/tlsx"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -77,6 +78,11 @@ type Outcome struct {
 	// Detected is the virtual time at which the (last) blocking verdict
 	// was reached — Table 5's detection-time metric. Zero when clean.
 	Detected time.Duration
+	// TimeoutPhase names the protocol phase whose timeout produced a
+	// timeout-derived blocking verdict ("dns", "connect", "tls", "http").
+	// Empty when the verdict did not come from a timeout — needed to
+	// attribute the burnt detection time to the right PLT phase.
+	TimeoutPhase string
 	// Err is the underlying failure for diagnostics.
 	Err error
 }
@@ -144,6 +150,20 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 	out = Outcome{URL: url, Scheme: scheme, Status: localdb.NotBlocked}
 	defer func() { out.Took = d.Clock.Since(start) }()
 
+	// Flight recorder: every stage verdict lands on the context's lane; the
+	// summary verdict (status + stages + timed-out phase) is recorded once,
+	// whichever return path runs.
+	lane := trace.FromContext(ctx)
+	if lane != nil {
+		lane.Event("detect", "measure", scheme.String()+" "+url)
+		defer func() {
+			if out.TimeoutPhase != "" {
+				lane.Event("detect", "timeout-phase", out.TimeoutPhase)
+			}
+			lane.Event("detect", "verdict", out.Status.String()+" "+out.StageSummary())
+		}()
+	}
+
 	host, path := localdb.SplitURL(url)
 
 	// Stage 1: DNS. IP-literal hosts skip resolution (the "IP as hostname"
@@ -169,6 +189,9 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 				return out
 			}
 			ip = gres.IPs[0]
+			if detail == "no-response" || detail == "timeout" {
+				out.TimeoutPhase = "dns"
+			}
 			dnsStage = &localdb.Stage{Type: localdb.BlockDNS, Detail: detail}
 			out.Stages = append(out.Stages, *dnsStage)
 			out.Status = localdb.Blocked
@@ -182,7 +205,9 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 		port = tlsx.Port
 	}
 	cctx, cancel := d.Clock.WithTimeout(ctx, d.connectTimeout())
+	mark := lane.Begin(trace.PhaseConnect)
 	conn, err := d.Dial(cctx, fmt.Sprintf("%s:%d", ip, port))
+	mark.End()
 	cancel()
 	if err != nil {
 		out.Status = localdb.Blocked
@@ -192,6 +217,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 		case netem.IsReset(err):
 			out.Stages = append(out.Stages, localdb.Stage{Type: localdb.BlockIP, Detail: "rst"})
 		case netem.IsTimeout(err):
+			out.TimeoutPhase = "connect"
 			out.Stages = append(out.Stages, localdb.Stage{Type: localdb.BlockTCPTimeout, Detail: "connect-timeout"})
 		case netem.IsRefused(err) && dnsStage != nil:
 			// Redirected to a host that refuses the port: DNS blocking
@@ -222,7 +248,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 	_ = conn.SetDeadline(d.Clock.Now().Add(d.httpTimeout()))
 	var stream net.Conn = conn
 	if scheme == HTTPS {
-		tc, err := tlsx.Client(conn, host, "")
+		tc, err := tlsx.ClientCtx(ctx, conn, host, "")
 		if err != nil {
 			out.Status = localdb.Blocked
 			out.Err = err
@@ -231,6 +257,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 				detail = "rst"
 			} else if netem.IsTimeout(err) {
 				detail = "handshake-timeout"
+				out.TimeoutPhase = "tls"
 			}
 			out.Stages = append(out.Stages, localdb.Stage{Type: localdb.BlockSNI, Detail: detail})
 			out.Detected = d.Clock.Since(start)
@@ -248,7 +275,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 		out.Detected = d.Clock.Since(start)
 		return out
 	}
-	resp, err := httpx.ReadResponse(bufio.NewReader(stream))
+	resp, err := httpx.ReadResponseCtx(ctx, bufio.NewReader(stream))
 	if err != nil {
 		out.Status = localdb.Blocked
 		out.Err = err
@@ -257,6 +284,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 			detail = "rst"
 		} else if errors.Is(err, context.DeadlineExceeded) || netem.IsTimeout(err) {
 			detail = "get-timeout"
+			out.TimeoutPhase = "http"
 		}
 		out.Stages = append(out.Stages, localdb.Stage{Type: httpBlockFor(scheme), Detail: detail})
 		out.Detected = d.Clock.Since(start)
@@ -288,6 +316,7 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 			if redirected {
 				detail = "blockpage-redirect"
 			}
+			lane.Event("http", "blockpage-match", detail)
 			out.Stages = append(out.Stages, localdb.Stage{Type: httpBlockFor(scheme), Detail: detail})
 			out.Detected = d.Clock.Since(start)
 			// "+ Possible DNS" (Figure 4): if the local answer differs from
@@ -355,6 +384,10 @@ func dnsDetail(res dnsx.Result) string {
 	switch {
 	case errors.Is(res.Err, dnsx.ErrNoResponse):
 		return "no-response"
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		// The caller's deadline expired mid-lookup: a DNS-phase timeout,
+		// not a generic failure.
+		return "timeout"
 	case res.RCode != dnsx.RCodeNoError:
 		return strings.ToLower(dnsx.RCodeName(res.RCode))
 	default:

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"csaw/internal/netem"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -87,6 +89,13 @@ func (c *Client) Lookup(ctx context.Context, name string) (res Result) {
 	res = Result{Name: CanonicalName(name)}
 	defer func() { res.Took = c.Clock.Since(start) }()
 
+	// Flight recorder: the whole lookup — including the dials to each
+	// resolver — counts as the lane's DNS phase; each query attempt and its
+	// verdict (rcode, answer, timeout) is an event.
+	lane := trace.FromContext(ctx)
+	mark := lane.Begin(trace.PhaseDNS)
+	defer mark.End()
+
 	if len(c.Servers) == 0 {
 		res.Err = fmt.Errorf("dnsx: no resolvers configured")
 		return res
@@ -96,16 +105,20 @@ func (c *Client) Lookup(ctx context.Context, name string) (res Result) {
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		for _, server := range c.Servers {
 			attemptStart := c.Clock.Now()
+			lane.Event("dns", "query", res.Name+" @"+server)
 			msg, err := c.exchange(ctx, server, name)
 			switch {
 			case err == nil:
 				res.Server = server
 				res.RCode = msg.RCode
+				lane.Event("dns", "rcode", RCodeName(msg.RCode))
 				switch msg.RCode {
 				case RCodeNoError:
 					res.IPs = msg.AnswerIPs()
 					if len(res.IPs) == 0 {
 						res.Err = fmt.Errorf("%w: empty NOERROR answer", ErrRCode)
+					} else {
+						lane.Event("dns", "answer", strings.Join(res.IPs, ","))
 					}
 					return res
 				case RCodeNXDomain, RCodeRefused:
@@ -130,10 +143,12 @@ func (c *Client) Lookup(ctx context.Context, name string) (res Result) {
 					return res
 				}
 			case ctx.Err() != nil:
+				lane.Event("dns", "cancelled", server)
 				res.Err = ctx.Err()
 				return res
 			default:
 				// Timeout or transport failure: move to the next attempt.
+				lane.Event("dns", "no-answer", server)
 			}
 		}
 	}

@@ -1,0 +1,94 @@
+package dnsx
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzMessageDecode throws arbitrary wire bytes at the decoder — the bytes a
+// censor's resolver actually controls. Properties: Unmarshal never panics,
+// and the codec reaches a fixed point after one normalization pass: any
+// successfully decoded message that re-encodes must decode again and encode
+// to identical bytes (decoded names are canonicalized — lowercased,
+// compression pointers flattened — so the *first* re-encode may differ from
+// the input, but never the second).
+func FuzzMessageDecode(f *testing.F) {
+	q, _ := NewQuery(0x1234, "www.youtube.com").Marshal()
+	f.Add(q)
+	resp, _ := NewQuery(7, "news.example.pk").Reply().AnswerA("news.example.pk", "10.9.8.7", 300).Marshal()
+	f.Add(resp)
+	nx := NewQuery(9, "missing.example").Reply()
+	nx.RCode = RCodeNXDomain
+	nxb, _ := nx.Marshal()
+	f.Add(nxb)
+	// A response using a compression pointer back into the question.
+	f.Add([]byte{
+		0x12, 0x34, 0x81, 0x80, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		0x01, 'a', 0x02, 'b', 'c', 0x00, 0x00, 0x01, 0x00, 0x01, // question a.bc A IN
+		0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3C, 0x00, 0x04, 0x7F, 0x00, 0x00, 0x01,
+	})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		b1, err := m.Marshal()
+		if err != nil {
+			// Decoded labels can be unencodable (a label containing ".",
+			// or one that outgrows 63 bytes under ToLower's UTF-8 repair);
+			// rejecting those on encode is correct behavior.
+			return
+		}
+		m2, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v\n% x", err, b1)
+		}
+		b2, err := m2.Marshal()
+		if err != nil {
+			t.Fatalf("decoded canonical message does not re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode∘decode not a fixed point:\nb1: % x\nb2: % x", b1, b2)
+		}
+	})
+}
+
+// TestMessageRoundTripExact is the seeded exact-equality complement of the
+// fuzz target: messages built through the package's own constructors (whose
+// names are canonical by construction) must survive Marshal→Unmarshal with
+// every field intact.
+func TestMessageRoundTripExact(t *testing.T) {
+	msgs := []*Message{
+		NewQuery(1, "www.youtube.com"),
+		NewQuery(0xFFFF, "a.very.deep.subdomain.example.pk"),
+		NewQuery(2, "hot.example.net").Reply().AnswerA("hot.example.net", "203.0.113.9", 60),
+	}
+	nx := NewQuery(3, "blocked.example").Reply()
+	nx.RCode = RCodeNXDomain
+	msgs = append(msgs, nx)
+	cname := NewQuery(4, "cdn.example").Reply()
+	cname.Answers = append(cname.Answers,
+		RR{Name: "cdn.example", Type: TypeCNAME, Class: ClassIN, TTL: 30, Data: "edge.example"},
+		RR{Name: "edge.example", Type: TypeA, Class: ClassIN, TTL: 30, Data: "198.51.100.4"})
+	cname.Authority = append(cname.Authority,
+		RR{Name: "example", Type: TypeNS, Class: ClassIN, TTL: 3600, Data: "ns1.example"})
+	cname.Additional = append(cname.Additional,
+		RR{Name: "note.example", Type: TypeTXT, Class: ClassIN, TTL: 10, Data: "censorship measurement"})
+	msgs = append(msgs, cname)
+
+	for i, m := range msgs {
+		b, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("msg %d: marshal: %v", i, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("msg %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("msg %d: round trip changed the message:\nin:  %+v\nout: %+v", i, m, got)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"time"
 
+	"csaw/internal/trace"
+	"csaw/internal/vtime"
 	"csaw/internal/worldgen"
 )
 
@@ -28,6 +30,11 @@ type Options struct {
 	Runs int
 	// Seed drives all randomness.
 	Seed int64
+	// Trace, when set, is called with a scenario world's clock to build the
+	// flight recorder that experiment's clients record into (csaw-experiments
+	// -trace). Experiments that support tracing (trace-breakdown) call it
+	// once per world; each world has its own clock, hence the factory shape.
+	Trace func(clock *vtime.Clock) *trace.Tracer
 }
 
 func (o Options) runs(def int) int {
@@ -131,6 +138,7 @@ func All() []Runner {
 		{"ablation-fingerprint", "Ablation: censor-visible request footprint (§8)", AblationFingerprint},
 		{"sync-fault", "Sync convergence under global-DB outages", SyncFault},
 		{"fleet", "Population-scale fleet workload", Fleet},
+		{"trace-breakdown", "PLT phase breakdown behind ISP-B (flight recorder)", TraceBreakdown},
 	}
 }
 

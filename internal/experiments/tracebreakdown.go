@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"io"
+
+	"csaw/internal/core"
+	"csaw/internal/trace"
+	"csaw/internal/worldgen"
+)
+
+// TraceBreakdown runs one serial client behind ISP-B — the multi-stage
+// censor of Table 1 (DNS redirect + dropped HTTP/HTTPS for YouTube, iframe
+// block pages for the rest) — with the flight recorder attached, and
+// reports where each fetch's PLT went: the per-serving-source phase
+// breakdown (DNS/connect/TLS/TTFB/body/switch) that EXPERIMENTS.md quotes.
+//
+// Each URL is fetched over several rounds, so the breakdown contrasts the
+// expensive first visit (full detection, approach search) with the steady
+// state (local-DB hit, straight to the selected approach).
+func TraceBreakdown(o Options) (*Result, error) {
+	w, err := o.world(300)
+	if err != nil {
+		return nil, err
+	}
+	_, ispB, err := w.CaseStudy()
+	if err != nil {
+		return nil, err
+	}
+	host := w.NewClientHost("trace-breakdown", ispB)
+	cfg := w.ClientConfig(host, o.seed())
+	// Serial fetches keep one lane per path and no racing goroutines: the
+	// breakdown then reflects protocol costs, not scheduling accidents.
+	cfg.Serial = true
+
+	tracer := newTracer(o, w)
+	cfg.Trace = tracer
+
+	cl, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Start(ctx); err != nil {
+		return nil, err
+	}
+
+	urls := []string{
+		worldgen.YouTubeHost + "/",      // DNS redirect + SNI/HTTP drop: multi-stage
+		worldgen.PornHost + "/",         // iframe block page
+		worldgen.NewsHost + "/",         // clean, external CDN assets
+		worldgen.SmallHost + "/",        // clean, small
+		worldgen.YouTubeHost + "/watch", // second blocked page on the same host
+	}
+	rounds := o.runs(3)
+	res := &Result{ID: "trace-breakdown", Title: "PLT phase breakdown behind ISP-B (flight recorder)"}
+	fetches, failures := 0, 0
+	for r := 0; r < rounds; r++ {
+		for _, u := range urls {
+			out := cl.FetchURL(ctx, u)
+			fetches++
+			if !out.OK() {
+				failures++
+			}
+		}
+	}
+	cl.WaitIdle()
+
+	res.Text = tracer.Breakdown()
+	started, sampled := tracer.Stats()
+	res.Metric("fetches", float64(fetches))
+	res.Metric("fetch.failures", float64(failures))
+	res.Metric("trace.spans.started", float64(started))
+	res.Metric("trace.spans.recorded", float64(sampled))
+	res.Note("switch = time before the serving lane opened (detection + earlier approaches); other = selection/db bookkeeping")
+	return res, nil
+}
+
+// newTracer builds the experiment's flight recorder: the -trace factory when
+// the operator asked for a JSONL artifact, else an unsampled recorder over a
+// discarded stream (the aggregate breakdown is the product either way).
+func newTracer(o Options, w *worldgen.World) *trace.Tracer {
+	if o.Trace != nil {
+		return o.Trace(w.Clock)
+	}
+	return trace.New(w.Clock, trace.NewStreamSink(io.Discard), trace.WithTiming(trace.DefaultTick))
+}

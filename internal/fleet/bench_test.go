@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 	"time"
 
 	"csaw/internal/globaldb"
+	"csaw/internal/trace"
 	"csaw/internal/worldgen"
 )
 
@@ -117,7 +119,15 @@ func runBenchFleet(tb testing.TB) *RunResult {
 	if err != nil {
 		tb.Fatalf("scenario: %v", err)
 	}
-	res, err := Run(context.Background(), w, sc, BuildPlan(wl), Options{Workers: 32})
+	// The benchmark runs with the flight recorder attached at the default
+	// 1-in-64 sampling: BENCH_fleet.json's numbers are the *traced* cost, so
+	// a recorder hot-path regression shows up in the acceptance trajectory
+	// instead of hiding behind an untraced benchmark.
+	opts := Options{
+		Workers: 32,
+		Trace:   trace.New(w.Clock, trace.NewStreamSink(io.Discard), trace.WithSampling(trace.DefaultSampleN)),
+	}
+	res, err := Run(context.Background(), w, sc, BuildPlan(wl), opts)
 	if err != nil {
 		tb.Fatalf("run: %v", err)
 	}

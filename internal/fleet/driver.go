@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"csaw/internal/core"
+	"csaw/internal/trace"
 	"csaw/internal/worldgen"
 )
 
@@ -43,6 +44,15 @@ type Options struct {
 	// Progress, when set, receives a live Snapshot every samplePeriod of
 	// virtual time.
 	Progress func(Snapshot)
+	// Trace attaches the flight recorder to every client. For byte-identical
+	// trace artifacts, also set Workers=1 and SerialClients (see csaw-fleet
+	// -trace): with parallel clients the branch each fetch takes depends on
+	// cross-client sync timing, so trace *content* is schedule-dependent even
+	// though the Summary is not.
+	Trace *trace.Tracer
+	// SerialClients forces cfg.Serial on every client: detect first, then
+	// circumvent, no racing goroutines — the deterministic trace discipline.
+	SerialClients bool
 }
 
 // Run executes the plan against a built world + fleet scenario and returns
@@ -93,7 +103,7 @@ func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, pla
 		wg.Add(1)
 		go func(mine []*ClientPlan) {
 			defer wg.Done()
-			if err := runWorker(ctx, w, sc, mine, st, start); err != nil {
+			if err := runWorker(ctx, w, sc, mine, st, start, opts); err != nil {
 				select {
 				case errCh <- err:
 				default:
@@ -128,7 +138,7 @@ type event struct {
 // client creation at join, explicit sync after each session, and a flush +
 // close at leave (churn) or end of plan.
 func runWorker(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario,
-	mine []*ClientPlan, st *Stats, start time.Time) error {
+	mine []*ClientPlan, st *Stats, start time.Time, opts Options) error {
 	var events []event
 	for _, cp := range mine {
 		seq := 0
@@ -172,7 +182,7 @@ func runWorker(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenari
 		switch cl := clients[ev.cidx]; {
 		case ev.seq == 0:
 			// Join: build and start the client.
-			c, err := joinClient(ctx, w, sc, ev.cp)
+			c, err := joinClient(ctx, w, sc, ev.cp, opts)
 			if err != nil {
 				return fmt.Errorf("fleet: client %d join: %w", ev.cp.Index, err)
 			}
@@ -218,7 +228,7 @@ func c0fetch(ctx context.Context, cl *core.Client, url string) *core.Result {
 
 // joinClient assembles a fleet-weight client (see the package comment for
 // why PSet/P=0 and the raised detector deadlines are load-bearing).
-func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, cp *ClientPlan) (*core.Client, error) {
+func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, cp *ClientPlan, opts Options) (*core.Client, error) {
 	host := w.NewClientHost(fmt.Sprintf("fleet-c%05d", cp.Index), sc.ISPs[cp.ISP])
 	cfg := w.LightClientConfig(host, cp.Seed)
 	cfg.PSet, cfg.P = true, 0
@@ -226,6 +236,10 @@ func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenar
 	cfg.DetectConnectTimeout = detectDeadline
 	cfg.DetectHTTPTimeout = detectDeadline
 	cfg.DNSAttemptTimeout = detectDeadline
+	cfg.Trace = opts.Trace
+	if opts.SerialClients {
+		cfg.Serial = true
+	}
 	cl, err := core.New(cfg)
 	if err != nil {
 		return nil, err

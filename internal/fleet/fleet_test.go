@@ -11,6 +11,13 @@ import (
 // runFleet builds a world + scenario for the workload and executes it.
 func runFleet(t *testing.T, wl Workload, scale float64, workers int) *RunResult {
 	t.Helper()
+	return runFleetOpts(t, wl, scale, func(_ *worldgen.World, o *Options) { o.Workers = workers })
+}
+
+// runFleetOpts is runFleet with an options hook: mod sees the built world
+// (tracers need its clock) and the default Options before the run starts.
+func runFleetOpts(t *testing.T, wl Workload, scale float64, mod func(w *worldgen.World, o *Options)) *RunResult {
+	t.Helper()
 	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: wl.Seed})
 	if err != nil {
 		t.Fatalf("world: %v", err)
@@ -20,7 +27,11 @@ func runFleet(t *testing.T, wl Workload, scale float64, workers int) *RunResult 
 		t.Fatalf("scenario: %v", err)
 	}
 	plan := BuildPlan(wl)
-	res, err := Run(context.Background(), w, sc, plan, Options{Workers: workers})
+	opts := Options{Workers: DefaultWorkers}
+	if mod != nil {
+		mod(w, &opts)
+	}
+	res, err := Run(context.Background(), w, sc, plan, opts)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

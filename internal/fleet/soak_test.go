@@ -1,8 +1,12 @@
 package fleet
 
 import (
+	"io"
 	"testing"
 	"time"
+
+	"csaw/internal/trace"
+	"csaw/internal/worldgen"
 )
 
 // TestSoakSameSeedSameSummary is the fleet determinism gate: a ~500-client
@@ -23,8 +27,17 @@ func TestSoakSameSeedSameSummary(t *testing.T) {
 		MeanSessions: 1.2,
 		MaxFetches:   3,
 	}
-	first := runFleet(t, wl, 2400, 48)
-	second := runFleet(t, wl, 2400, 48)
+	// Both runs record flight-recorder spans into a discarded stream: with
+	// 48 parallel workers the trace *content* is schedule-dependent (that is
+	// what csaw-fleet -trace's workers=1 discipline is for), but the soak is
+	// where `make race` proves the recorder's hot path — pooled spans, lane
+	// refcounts, the shared sink — is data-race-free under real contention.
+	withTrace := func(w *worldgen.World, o *Options) {
+		o.Workers = 48
+		o.Trace = trace.New(w.Clock, trace.NewStreamSink(io.Discard), trace.WithSampling(16))
+	}
+	first := runFleetOpts(t, wl, 2400, withTrace)
+	second := runFleetOpts(t, wl, 2400, withTrace)
 
 	if !first.Summary.Consistent() {
 		t.Errorf("run 1 diverged from plan expectation:\n%s", first.Summary.Render())

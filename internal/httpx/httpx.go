@@ -301,7 +301,13 @@ func readHeaders(br *bufio.Reader, h Header) error {
 		if i <= 0 {
 			return fmt.Errorf("%w: header %q", ErrMalformed, line)
 		}
-		h.Add(strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]))
+		key := strings.TrimSpace(line[:i])
+		if key == "" {
+			// A whitespace-only key would serialize as ": v", which no
+			// parser (ours included) reads back.
+			return fmt.Errorf("%w: header %q", ErrMalformed, line)
+		}
+		h.Add(key, strings.TrimSpace(line[i+1:]))
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"csaw/internal/trace"
 )
 
 // DialFunc is the dialing contract the rest of the repository programs
@@ -50,15 +52,22 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 		flow.DstName = dst.name
 	}
 
+	// Flight recorder: dials record censor verdicts and connection outcomes
+	// as events only; connect *time* is attributed by the semantic layers
+	// (detect, web.Transport), since dials also happen inside DNS lookups.
+	lane := trace.FromContext(ctx)
+
 	ic := egress.Interceptor()
 	if ic != nil {
 		switch ic.FilterConnect(flow) {
 		case VerdictDrop:
 			// SYN blackholed: nothing ever comes back.
+			lane.Event("net", "censor-drop", address)
 			<-ctx.Done()
 			return nil, h.dialErr(address, ctx)
 		case VerdictReset:
 			// RST injected from near the edge: fast failure.
+			lane.Event("net", "censor-rst", address)
 			if err := n.clock.SleepCtx(ctx, n.RTT(h.loc, "")/4); err != nil {
 				return nil, h.dialErr(address, ctx)
 			}
@@ -68,6 +77,7 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 
 	if dst == nil {
 		// Routed into the void; the handshake never completes.
+		lane.Event("net", "void", address)
 		<-ctx.Done()
 		return nil, h.dialErr(address, ctx)
 	}
@@ -79,11 +89,13 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 
 	lst := dst.listener(port)
 	if lst == nil {
+		lane.Event("net", "refused", address)
 		return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
 	}
 
 	oneWay := rtt / 2
 	if ic != nil && ic.WantStream(flow) {
+		lane.Event("net", "middlebox", address)
 		// Place the interceptor near the client's edge: a short client
 		// segment and the remainder of the path to the server.
 		edge := oneWay / 8
@@ -99,16 +111,20 @@ func (h *Host) Dial(ctx context.Context, address string) (net.Conn, error) {
 			clientConn.shutdown()
 			censorClient.shutdown()
 			censorServer.shutdown()
+			lane.Event("net", "refused", address)
 			return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
 		}
+		lane.Event("net", "connected", address)
 		return clientConn, nil
 	}
 
 	clientConn, serverConn := connPair(n, oneWay, srcAddr, dstAddr, flow)
 	if err := lst.deliver(serverConn); err != nil {
 		clientConn.shutdown()
+		lane.Event("net", "refused", address)
 		return nil, &OpError{Op: "dial", Addr: address, Err: ErrRefused}
 	}
+	lane.Event("net", "connected", address)
 	return clientConn, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"csaw/internal/netem"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -183,6 +184,8 @@ func Splice(a net.Conn, ar io.Reader, b net.Conn) {
 // proxyAddr. The returned conns behave like direct conns to the target.
 func Via(base netem.DialFunc, clock *vtime.Clock, proxyAddr string) netem.DialFunc {
 	return func(ctx context.Context, address string) (net.Conn, error) {
+		lane := trace.FromContext(ctx)
+		lane.Event("relay", "connect", proxyAddr)
 		conn, err := base(ctx, proxyAddr)
 		if err != nil {
 			return nil, err
@@ -206,9 +209,11 @@ func Via(base netem.DialFunc, clock *vtime.Clock, proxyAddr string) netem.DialFu
 		line = strings.TrimSpace(line)
 		if line != "OK" {
 			conn.Close()
+			lane.Event("relay", "tunnel-refused", address)
 			return nil, fmt.Errorf("proxynet: tunnel to %s refused: %s", address, line)
 		}
 		_ = conn.SetDeadline(time.Time{})
+		lane.Event("relay", "tunnel-ok", address)
 		return &tunnelConn{Conn: conn, br: br}, nil
 	}
 }

@@ -1,0 +1,28 @@
+package tlsx
+
+import (
+	"context"
+	"net"
+
+	"csaw/internal/trace"
+)
+
+// ClientCtx is Client plus flight-recorder instrumentation: when the
+// context carries a trace lane, the handshake is timed as PhaseTLS and the
+// offered SNI and handshake verdict are recorded.
+func ClientCtx(ctx context.Context, conn net.Conn, sni, expectCert string) (*Conn, error) {
+	l := trace.FromContext(ctx)
+	if l == nil {
+		return Client(conn, sni, expectCert)
+	}
+	l.Event("tls", "hello", sni)
+	m := l.Begin(trace.PhaseTLS)
+	c, err := Client(conn, sni, expectCert)
+	m.End()
+	if err != nil {
+		l.Event("tls", "error", err.Error())
+		return nil, err
+	}
+	l.Event("tls", "ok", c.PeerName())
+	return c, nil
+}

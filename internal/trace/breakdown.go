@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"csaw/internal/metrics"
+)
+
+// Per-source PLT phase aggregation: every emitted span with a serving lane
+// feeds exact (unquantized) durations into one Distribution per (source,
+// phase), the per-approach breakdown EXPERIMENTS.md's observability section
+// shows. Aggregation always uses the exact in-memory values, regardless of
+// the emission profile.
+
+type sourceAgg struct {
+	n      int
+	plt    *metrics.Distribution
+	phases [NumPhases]*metrics.Distribution
+}
+
+func newSourceAgg() *sourceAgg {
+	a := &sourceAgg{plt: metrics.NewDistribution()}
+	for i := range a.phases {
+		a.phases[i] = metrics.NewDistribution()
+	}
+	return a
+}
+
+// aggregate folds one record into the per-source breakdown.
+func (t *Tracer) aggregate(rec *Record) {
+	if !rec.HasPhases {
+		return
+	}
+	t.mu.Lock()
+	a := t.agg[rec.Source]
+	if a == nil {
+		a = newSourceAgg()
+		t.agg[rec.Source] = a
+	}
+	t.mu.Unlock()
+	// Distributions lock internally; only map access needs t.mu.
+	a.plt.AddDuration(rec.PLT)
+	for p := Phase(0); p < NumPhases; p++ {
+		a.phases[p].AddDuration(rec.Phases[p])
+	}
+	t.mu.Lock()
+	a.n++
+	t.mu.Unlock()
+}
+
+// Breakdown renders the per-source PLT phase breakdown as an aligned table:
+// one row per serving source, mean seconds per phase.
+func (t *Tracer) Breakdown() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	sources := make([]string, 0, len(t.agg))
+	for s := range t.agg {
+		sources = append(sources, s)
+	}
+	t.mu.Unlock()
+	if len(sources) == 0 {
+		return ""
+	}
+	sort.Strings(sources)
+
+	tbl := &metrics.Table{Title: "PLT phase breakdown by serving source", Headers: []string{
+		"source", "n", "plt-mean", "dns", "connect", "tls", "ttfb", "body", "switch", "other"}}
+	for _, src := range sources {
+		t.mu.Lock()
+		a := t.agg[src]
+		n := a.n
+		t.mu.Unlock()
+		row := []string{src, fmt.Sprintf("%d", n), fmt.Sprintf("%.2fs", a.plt.Mean())}
+		for p := Phase(0); p < NumPhases; p++ {
+			row = append(row, fmt.Sprintf("%.2fs", a.phases[p].Mean()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String()
+}

@@ -1,0 +1,39 @@
+package trace
+
+import "context"
+
+// Context plumbing: the span rides the fetch's context from core.Client
+// down to the layers; each concurrent path (direct measurement, each
+// circumvention attempt) overrides the lane. Nil values add nothing to the
+// context, so the disabled path allocates nothing.
+
+type spanKey struct{}
+type laneKey struct{}
+
+// WithSpan attaches a span to the context (no-op for nil).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// WithLane attaches a lane to the context (no-op for nil).
+func WithLane(ctx context.Context, l *Lane) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, laneKey{}, l)
+}
+
+// FromContext returns the context's lane, or nil.
+func FromContext(ctx context.Context) *Lane {
+	l, _ := ctx.Value(laneKey{}).(*Lane)
+	return l
+}

@@ -10,6 +10,7 @@ import (
 	"csaw/internal/httpx"
 	"csaw/internal/netem"
 	"csaw/internal/tlsx"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -81,7 +82,11 @@ func (t *Transport) RoundTrip(ctx context.Context, req *httpx.Request) (*httpx.R
 	if err != nil {
 		return nil, err
 	}
+	// Flight recorder: the dial — including any relay/tunnel handshake the
+	// Dialer hides — is the lane's connect phase.
+	mark := trace.FromContext(ctx).Begin(trace.PhaseConnect)
 	conn, err := t.Dialer(ctx, addr)
+	mark.End()
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +105,7 @@ func (t *Transport) RoundTrip(ctx context.Context, req *httpx.Request) (*httpx.R
 		if t.VerifyCert {
 			expect = sni
 		}
-		tc, err := tlsx.Client(conn, sni, expect)
+		tc, err := tlsx.ClientCtx(ctx, conn, sni, expect)
 		if err != nil {
 			return nil, fmt.Errorf("transport %s: tls: %w", t.Label, err)
 		}
@@ -124,7 +129,7 @@ func (t *Transport) RoundTrip(ctx context.Context, req *httpx.Request) (*httpx.R
 	if err := httpx.WriteRequest(stream, req); err != nil {
 		return nil, err
 	}
-	return readResponse(stream)
+	return readResponseCtx(ctx, stream)
 }
 
 // connectAddr decides what address to hand to the dialer.
@@ -157,9 +162,9 @@ func isIPLiteral(s string) bool {
 	return dots == 3
 }
 
-func readResponse(stream net.Conn) (*httpx.Response, error) {
+func readResponseCtx(ctx context.Context, stream net.Conn) (*httpx.Response, error) {
 	br := newBufReader(stream)
-	return httpx.ReadResponse(br)
+	return httpx.ReadResponseCtx(ctx, br)
 }
 
 // StaticLookup returns a Lookup that serves from a fixed map (tests and
