@@ -7,13 +7,16 @@
 #   make check       — vet + race + lint (the pre-merge gate alongside tier1)
 #   make bench-fleet — emit BENCH_fleet.json (fleet throughput + the
 #                      sharded-vs-legacy global-DB sync-round comparison)
+#   make soak-churn  — seeded censor-churn soak under -race: the scenario
+#                      runs twice and the summary + trace artifact must be
+#                      byte-identical
 #   make golden      — regenerate the flight-recorder golden trace artifact
 #   make fuzz        — short fuzz pass over the dnsx/httpx wire codecs
 #   make cover       — coverage for core+detect+trace, gated on COVERAGE.md
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check bench-fleet golden fuzz cover
+.PHONY: all build test tier1 vet lint race check bench-fleet soak-churn golden fuzz cover
 
 all: tier1
 
@@ -38,6 +41,13 @@ check: vet race lint
 
 bench-fleet:
 	CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v
+
+# Determinism soak for the adversarial-churn scenario: same seed twice,
+# rendered summary and deterministic-profile trace must not differ by a
+# byte (classification margins must beat scheduler jitter), with the race
+# detector watching the failover/settlement goroutines.
+soak-churn:
+	CSAW_SOAK=1 $(GO) test -race ./internal/experiments -run TestSoakChurn -count=1 -v
 
 # Regenerate internal/core/testdata/trace_golden.jsonl after intentional
 # recorder or protocol changes; the test still asserts its structural

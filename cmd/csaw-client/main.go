@@ -7,7 +7,13 @@
 // Usage:
 //
 //	echo "www.youtube.com/" | csaw-client [-isp A|B] [-anon] [-scale S]
-//	                                      [-trace trace.jsonl]
+//	                                      [-churn] [-trace trace.jsonl]
+//
+// -churn swaps the case-study world for the adversarial churn scenario:
+// the client sits behind an ISP whose censor walks the escalating
+// three-epoch schedule (clean → HTTP block pages with residual censorship
+// → IP/SNI escalation) on virtual time, with stale-verdict re-detection
+// armed. Browse worldgen.ChurnHost and watch !stats as the policy flips.
 //
 // -trace streams one flight-recorder span per fetch as JSONL, in the
 // human-facing timing profile (durations quantized to 100ms of virtual
@@ -34,6 +40,7 @@ func main() {
 		anon     = flag.Bool("anon", false, "prefer anonymity (Tor-only circumvention)")
 		scale    = flag.Float64("scale", 300, "virtual clock scale")
 		seed     = flag.Int64("seed", 1, "random seed")
+		churn    = flag.Bool("churn", false, "sit behind the adversarial churn ISP (escalating policy epochs on virtual time)")
 		traceOut = flag.String("trace", "", "write flight-recorder spans as JSONL to this file (timing profile)")
 	)
 	flag.Parse()
@@ -42,16 +49,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ispA, ispB, err := w.CaseStudy()
-	if err != nil {
-		fatal(err)
-	}
-	isp := ispA
-	if strings.EqualFold(*ispName, "B") {
-		isp = ispB
+	var isp *worldgen.ISP
+	if *churn {
+		originIP, err := w.AddChurnSite()
+		if err != nil {
+			fatal(err)
+		}
+		churnISP, schedule, err := w.BuildChurnISP(*seed, originIP)
+		if err != nil {
+			fatal(err)
+		}
+		isp = churnISP
+		fmt.Println("censor epoch schedule (virtual time from now):")
+		for i, ep := range schedule {
+			fmt.Printf("  epoch %d  +%-6s %s\n", i, ep.Start.Sub(schedule[0].Start), ep.Policy.Name)
+		}
+		fmt.Printf("blocked site: %s (origin %s)\n", worldgen.ChurnHost, originIP)
+	} else {
+		ispA, ispB, err := w.CaseStudy()
+		if err != nil {
+			fatal(err)
+		}
+		isp = ispA
+		if strings.EqualFold(*ispName, "B") {
+			isp = ispB
+		}
 	}
 	host := w.NewClientHost("interactive", isp)
 	cfg := w.ClientConfig(host, *seed)
+	if *churn {
+		// Track the censor's flips so stale verdicts re-detect (the same
+		// wiring the censor-churn experiment uses).
+		cfg.CensorEpoch = isp.Censor.EpochStart
+	}
 	if *anon {
 		cfg.Pref = core.PreferAnonymity
 	}
@@ -91,12 +121,15 @@ func main() {
 		case line == "!stats":
 			for _, k := range []string{"served-direct", "served-circum", "served-blockpage",
 				"phase2-confirm", "phase2-overturn", "refresh", "explore", "failover",
+				"failover-budget-exhausted", "stale-verdict", "stale-global-ignored",
+				"quarantine-bench", "quarantine-parole", "quarantine-restore",
+				"quarantine-override",
 				"reports-posted", "direct-remeasure", "false-report-corrected",
 				"sync-ok", "sync-failures", "sync-retries", "sync-skipped", "sync-partial",
 				"sync-fetch-failures", "sync-report-deferred",
 				"sync-circuit-open", "sync-circuit-close"} {
 				if v := client.Counter(k); v > 0 {
-					fmt.Printf("  %-24s %d\n", k, v)
+					fmt.Printf("  %-26s %d\n", k, v)
 				}
 			}
 			if client.Degraded() {

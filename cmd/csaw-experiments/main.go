@@ -12,8 +12,11 @@
 // measured results.
 //
 // -trace hands trace-aware experiments (trace-breakdown) a flight recorder
-// streaming JSONL spans, in the human-facing timing profile, to the given
-// file; experiments that build several worlds share the one stream.
+// streaming JSONL spans to the given file; experiments that build several
+// worlds share the one stream. -trace-profile picks the record profile:
+// "timing" (default, human-facing durations floor-quantized to the tick)
+// or "deterministic" (schedule-invariant structure only — same seed, same
+// bytes; what the churn soak diffs).
 package main
 
 import (
@@ -35,7 +38,8 @@ func main() {
 		scale    = flag.Float64("scale", 0, "virtual clock scale (0 = per-experiment default)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		traceOut = flag.String("trace", "", "write flight-recorder spans from trace-aware experiments as JSONL to this file")
+		traceOut     = flag.String("trace", "", "write flight-recorder spans from trace-aware experiments as JSONL to this file")
+		traceProfile = flag.String("trace-profile", "timing", "trace record profile: timing (quantized durations) or deterministic (schedule-invariant, byte-identical per seed)")
 	)
 	flag.Parse()
 
@@ -68,13 +72,24 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
+		var profile []trace.Option
+		switch *traceProfile {
+		case "timing":
+			profile = append(profile, trace.WithTiming(trace.DefaultTick))
+		case "deterministic":
+			// No timing option: records carry only the schedule-invariant
+			// structure, so a re-run with the same seed is byte-identical.
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -trace-profile %q (want timing or deterministic)\n", *traceProfile)
+			os.Exit(2)
+		}
 		// One shared stream: each trace-aware experiment builds its world
 		// (and clock) lazily, so Options carries a factory, not a tracer.
 		sink := trace.NewStreamSink(f)
 		opts.Trace = func(clock *vtime.Clock) *trace.Tracer {
-			return trace.New(clock, sink, trace.WithTiming(trace.DefaultTick))
+			return trace.New(clock, sink, profile...)
 		}
-		fmt.Fprintf(os.Stderr, "tracing trace-aware experiments to %s\n", *traceOut)
+		fmt.Fprintf(os.Stderr, "tracing trace-aware experiments to %s (%s profile)\n", *traceOut, *traceProfile)
 	}
 	fmt.Printf("seed: %d\n\n", *seed)
 	failed := 0

@@ -9,12 +9,17 @@
 //	csaw-fleet [-population N] [-duration D] [-seed N]
 //	           [-sites N] [-isps N] [-blocked-frac F]
 //	           [-scale S] [-workers N] [-o measured.json] [-progress]
-//	           [-trace trace.jsonl] [-trace-sample N]
+//	           [-trace trace.jsonl] [-trace-sample N] [-failover-budget D]
 //
 // -trace streams flight-recorder spans (sampled 1-in-N URLs, deterministic
 // hash) as JSONL. Tracing forces workers=1 and serial clients so the trace
 // content — not just the summary — is byte-identical across same-seed runs;
 // expect a slower wall clock.
+//
+// -failover-budget deadline-bounds each fetch's failover-ladder walk in
+// virtual time. Fleet clients default to no budget (goroutine-scale stall
+// noise would misread as dead ladders); set it on small fleets against
+// censors that drop rather than reset.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 		progress    = flag.Bool("progress", false, "print live counters to stderr every virtual minute")
 		traceOut    = flag.String("trace", "", "write flight-recorder spans as JSONL to this file (forces workers=1, serial clients)")
 		traceSample = flag.Int("trace-sample", trace.DefaultSampleN, "trace one URL in N (deterministic hash-of-URL)")
+		failBudget  = flag.Duration("failover-budget", 0, "per-fetch failover-ladder budget in virtual time (0 = fleet default: disabled; use with small fleets against dropping censors)")
 	)
 	flag.Parse()
 
@@ -70,7 +76,7 @@ func main() {
 	plan := fleet.BuildPlan(wl)
 	fmt.Fprintf(os.Stderr, "plan: %s (scale %g, %d workers)\n", plan, *scale, *workers)
 
-	opts := fleet.Options{Workers: *workers}
+	opts := fleet.Options{Workers: *workers, FailoverBudget: *failBudget}
 	var traceFile *os.File
 	var traceSink *trace.SortedSink
 	var tracer *trace.Tracer

@@ -23,6 +23,7 @@ package censor
 import (
 	"strings"
 	"sync"
+	"time"
 )
 
 // DNSAction is what the censor-controlled resolver does for a name.
@@ -162,6 +163,20 @@ type Policy struct {
 	// InterceptForeignDNS also applies the DNS policy on-path to queries
 	// sent to resolvers outside the ISP (public-DNS censorship).
 	InterceptForeignDNS bool
+
+	// Intermittent is the probability in [0,1) that a *matched* rule is
+	// skipped — the censor "blinks", as real deployments measurably do.
+	// Zero keeps enforcement deterministic. Effective only after
+	// Censor.EnableChurn, which provides the seeded RNG.
+	Intermittent float64
+
+	// ResidualWindow, when positive, punishes a client beyond the
+	// triggering flow: after any enforcement event, *all* new flows from
+	// that client's source IP are dropped at connect time until the window
+	// elapses — including circumvention traffic, which is what makes a
+	// failover ladder necessary. Effective only after Censor.EnableChurn,
+	// which provides the virtual clock.
+	ResidualWindow time.Duration
 }
 
 // domainMatch reports whether host equals pattern or is a subdomain of it.

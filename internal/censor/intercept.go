@@ -19,6 +19,7 @@ import (
 type Censor struct {
 	mu     sync.RWMutex
 	policy *Policy
+	churn  *churnState // adversarial timeline; nil until EnableChurn
 
 	// Stats counts enforcement events by action name.
 	Stats Stats
@@ -36,8 +37,12 @@ func New(p *Policy) *Censor {
 // Attach installs the censor on an AS egress.
 func (c *Censor) Attach(as *netem.AS) { as.SetInterceptor(c) }
 
-// Policy returns the active policy.
+// Policy returns the active policy, first advancing the epoch schedule (if
+// churn is armed) to the current virtual time — a policy flip takes effect
+// on the first decision made after its Start. Connections established
+// earlier keep the decisions they already took under the old policy.
 func (c *Censor) Policy() *Policy {
+	c.advanceEpoch()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.policy
@@ -51,14 +56,29 @@ func (c *Censor) SetPolicy(p *Policy) {
 	c.policy = p
 }
 
-// FilterConnect implements netem.Interceptor: IP blacklisting.
+// FilterConnect implements netem.Interceptor: residual censorship first
+// (a punished client's flows are dropped regardless of destination), then
+// IP blacklisting.
 func (c *Censor) FilterConnect(f netem.Flow) netem.Verdict {
-	switch c.Policy().IPActionFor(f.Dst.IP) {
+	p := c.Policy()
+	if c.residualActive(f.Src.IP) {
+		c.Stats.bump("residual-drop")
+		return netem.VerdictDrop
+	}
+	switch p.IPActionFor(f.Dst.IP) {
 	case IPDrop:
+		if !c.enforce(p) {
+			return netem.VerdictPass
+		}
 		c.Stats.bump("ip-drop")
+		c.triggerResidual(p, f.Src.IP)
 		return netem.VerdictDrop
 	case IPReset:
+		if !c.enforce(p) {
+			return netem.VerdictPass
+		}
 		c.Stats.bump("ip-reset")
+		c.triggerResidual(p, f.Src.IP)
 		return netem.VerdictReset
 	default:
 		return netem.VerdictPass
@@ -83,18 +103,18 @@ func (c *Censor) WantStream(f netem.Flow) bool {
 func (c *Censor) HandleStream(f netem.Flow, s *netem.Session) {
 	switch f.Dst.Port {
 	case 80:
-		c.handleHTTP(s)
+		c.handleHTTP(f, s)
 	case tlsx.Port:
-		c.handleTLS(s)
+		c.handleTLS(f, s)
 	case dnsx.Port:
-		c.handleDNS(s)
+		c.handleDNS(f, s)
 	default:
 		s.Splice()
 	}
 }
 
 // handleHTTP proxies requests one at a time, enforcing URL and keyword rules.
-func (c *Censor) handleHTTP(s *netem.Session) {
+func (c *Censor) handleHTTP(f netem.Flow, s *netem.Session) {
 	client, server := s.Client(), s.Server()
 	closeBoth := func() {
 		client.Close()
@@ -109,7 +129,15 @@ func (c *Censor) handleHTTP(s *netem.Session) {
 			return
 		}
 		p := c.Policy()
-		switch act := p.HTTPActionFor(req.Host, req.Target); act {
+		act := p.HTTPActionFor(req.Host, req.Target)
+		if act != HTTPClean {
+			if !c.enforce(p) {
+				act = HTTPClean // the censor blinked: this request slips through
+			} else {
+				c.triggerResidual(p, f.Src.IP)
+			}
+		}
+		switch act {
 		case HTTPClean:
 			// Count what the censor *observes* passing, per (host,target):
 			// the raw material for traffic-analysis/fingerprinting studies
@@ -163,7 +191,7 @@ func (c *Censor) handleHTTP(s *netem.Session) {
 }
 
 // handleTLS peeks the ClientHello for the SNI, then passes or kills.
-func (c *Censor) handleTLS(s *netem.Session) {
+func (c *Censor) handleTLS(f netem.Flow, s *netem.Session) {
 	client, server := s.Client(), s.Server()
 	var consumed bytes.Buffer
 	cbr := bufio.NewReader(client)
@@ -181,7 +209,16 @@ func (c *Censor) handleTLS(s *netem.Session) {
 		spliceBuffered(s, cbr)
 		return
 	}
-	switch c.Policy().SNIActionFor(hello.Name) {
+	p := c.Policy()
+	act := p.SNIActionFor(hello.Name)
+	if act != TLSClean {
+		if !c.enforce(p) {
+			act = TLSClean
+		} else {
+			c.triggerResidual(p, f.Src.IP)
+		}
+	}
+	switch act {
 	case TLSDrop:
 		c.Stats.bump("sni-drop")
 		s.Blackhole()
@@ -231,7 +268,7 @@ func spliceBuffered(s *netem.Session, cbr *bufio.Reader) {
 
 // handleDNS applies the DNS policy on-path to queries bound for foreign
 // resolvers (DNS injection).
-func (c *Censor) handleDNS(s *netem.Session) {
+func (c *Censor) handleDNS(f netem.Flow, s *netem.Session) {
 	client, server := s.Client(), s.Server()
 	defer client.Close()
 	defer server.Close()
@@ -246,6 +283,13 @@ func (c *Censor) handleDNS(s *netem.Session) {
 		}
 		p := c.Policy()
 		act := p.DNSActionFor(name)
+		if act != DNSClean {
+			if !c.enforce(p) {
+				act = DNSClean
+			} else {
+				c.triggerResidual(p, f.Src.IP)
+			}
+		}
 		if act == DNSInject {
 			// Injection: the forged answer leaves immediately, and the
 			// query still reaches the real resolver — its genuine answer
@@ -365,6 +409,9 @@ func (c *Censor) ResolverHandler(reg *dnsx.Registry, ttl uint32) dnsx.Handler {
 		}
 		p := c.Policy()
 		act := p.DNSActionFor(name)
+		if act != DNSClean && !c.enforce(p) {
+			act = DNSClean
+		}
 		if act == DNSClean {
 			return honest.HandleDNS(q, flow)
 		}
@@ -372,6 +419,7 @@ func (c *Censor) ResolverHandler(reg *dnsx.Registry, ttl uint32) dnsx.Handler {
 			act = DNSRedirect // a lying resolver cannot "race" itself
 		}
 		c.Stats.bump(act.String())
+		c.triggerResidual(p, flow.Src.IP)
 		return forgeDNSReply(q, act, p.RedirectIP) // nil for DNSDrop: server stays silent
 	})
 }

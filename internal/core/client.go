@@ -45,6 +45,12 @@ const (
 	DefaultSyncInterval = 5 * time.Minute
 	// DefaultASNProbeInterval is the multihoming probe period (§4.4).
 	DefaultASNProbeInterval = 2 * time.Minute
+	// DefaultFailoverBudget bounds one FetchURL's walk down the failover
+	// ladder (circumFetchVia): generous enough for the full worst case —
+	// maxAttempts transport timeouts back to back — so it only cuts off
+	// runaway fetches, never a ladder making progress. Tighten it per
+	// scenario when a censor drops connections instead of resetting them.
+	DefaultFailoverBudget = 4 * time.Minute
 )
 
 // Config assembles a C-Saw client.
@@ -99,6 +105,24 @@ type Config struct {
 	// selects the documented defaults.
 	Sync SyncPolicy
 
+	// Quarantine tunes approach quarantine-with-probation (see
+	// QuarantinePolicy); the zero value selects the documented defaults,
+	// Strikes < 0 disables it.
+	Quarantine QuarantinePolicy
+
+	// FailoverBudget is the total virtual time one fetch may spend walking
+	// the circumvention failover ladder before giving up with whatever it
+	// has. Zero selects DefaultFailoverBudget; negative disables the budget.
+	FailoverBudget time.Duration
+
+	// CensorEpoch, when set, is the stale-verdict oracle: the start of the
+	// censor's current policy epoch. DB records measured before it describe
+	// an adversary that no longer exists and are re-detected instead of
+	// trusted (worldgen wires this to the ISP censor's EpochStart). In a
+	// deployment this would be a coarse signal such as "blocking event
+	// reported for this AS" from the global DB.
+	CensorEpoch func() time.Time
+
 	// DetectConnectTimeout / DetectHTTPTimeout override the detector's
 	// virtual-time deadlines when positive. Fleet runs raise them so a
 	// scheduler stall under O(10k) goroutines cannot turn a slow-but-alive
@@ -148,6 +172,7 @@ type Client struct {
 	seenASNs    map[int]bool
 	multihomed  bool
 	counters    map[string]int
+	quar        map[string]*quarState // approach quarantine (see quarantine.go)
 
 	// Sync circuit-breaker state (guarded by mu).
 	syncFails     int // consecutive failed rounds
@@ -288,6 +313,28 @@ func (s *slotConn) Flow() netem.Flow {
 		return fc.Flow()
 	}
 	return netem.Flow{}
+}
+
+func (c *Client) failoverBudget() time.Duration {
+	if c.cfg.FailoverBudget != 0 {
+		return c.cfg.FailoverBudget
+	}
+	return DefaultFailoverBudget
+}
+
+// stopCtx derives a context that is additionally cancelled when the client
+// shuts down, so background measurements never outlive Close. The returned
+// cancel must be called (it also reaps the watcher goroutine).
+func (c *Client) stopCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-c.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
 }
 
 // Close stops background work.

@@ -53,13 +53,29 @@ func (c *Client) FetchURL(ctx context.Context, url string) (res *Result) {
 	rec, status := c.db.Lookup(url)
 	stages := rec.Stages
 	fromGlobal := false
+	// Stale-verdict re-detection: a verdict measured before the censor's
+	// current policy epoch (Config.CensorEpoch) describes an adversary that
+	// no longer exists — treat the URL as unmeasured and re-detect.
+	epoch := c.censorEpoch()
+	if status != localdb.NotMeasured && !epoch.IsZero() && rec.Measured.Before(epoch) {
+		c.bump("stale-verdict")
+		sp.Event("db", "stale-verdict", status.String())
+		status, stages = localdb.NotMeasured, nil
+	}
 	// Algorithm 1: consult the global list only when the local_DB does not
 	// already say blocked.
 	if status != localdb.Blocked {
 		if e, ok := c.globalLookup(url); ok {
-			status = localdb.Blocked
-			stages = globaldb.FromWire(e.Stages)
-			fromGlobal = true
+			if !epoch.IsZero() && e.LastTp.Before(epoch) {
+				// The crowd's report predates the flip too: ignore it rather
+				// than circumvent on outdated intelligence.
+				c.bump("stale-global-ignored")
+				sp.Event("db", "stale-global", "ignored")
+			} else {
+				status = localdb.Blocked
+				stages = globaldb.FromWire(e.Stages)
+				fromGlobal = true
+			}
 		}
 	}
 	if status == localdb.Blocked && c.Multihomed() && !c.cfg.NoMultihoming {
@@ -118,8 +134,22 @@ func (c *Client) mergedStages(url string, stages []localdb.Stage) []localdb.Stag
 	return out
 }
 
-// recordOutcome writes a detection outcome into the local_DB.
+// censorEpoch evaluates the stale-verdict oracle (zero when unset).
+func (c *Client) censorEpoch() time.Time {
+	if c.cfg.CensorEpoch == nil {
+		return time.Time{}
+	}
+	return c.cfg.CensorEpoch()
+}
+
+// recordOutcome writes a detection outcome into the local_DB. A
+// not-measured status is an *aborted* measurement (client shutdown,
+// failover-budget expiry — see detect's context rewrite), not a verdict;
+// recording it would evict a real one.
 func (c *Client) recordOutcome(url string, status localdb.Status, stages []localdb.Stage) {
+	if status == localdb.NotMeasured {
+		return
+	}
 	c.db.Put(url, c.currentASN(), status, stages)
 }
 
@@ -130,6 +160,10 @@ func (c *Client) fetchKnownClean(ctx context.Context, url string) *Result {
 	lane := trace.SpanFromContext(ctx).Lane("direct")
 	out := c.det.Measure(trace.WithLane(ctx, lane), url, detect.HTTP)
 	lane.Close()
+	if out.Status == localdb.NotMeasured {
+		// Aborted measurement (shutdown / budget expiry): no verdict, no page.
+		return &Result{URL: url, Source: "direct", Status: out.Status, Err: out.Err}
+	}
 	if !out.Blocked() {
 		c.recordOutcome(url, localdb.NotBlocked, nil)
 		c.bump("served-direct")
@@ -149,6 +183,9 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 		lane := sp.Lane("direct")
 		out := c.det.Measure(trace.WithLane(ctx, lane), url, detect.HTTP)
 		lane.Close()
+		if out.Status == localdb.NotMeasured {
+			return &Result{URL: url, Source: "direct", Status: out.Status, Err: out.Err}
+		}
 		if !out.Blocked() {
 			c.recordOutcome(url, localdb.NotBlocked, nil)
 			c.bump("served-direct")
@@ -158,11 +195,16 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 	}
 
 	// The direct lane is opened before the goroutine launches so the span
-	// cannot emit before the background measurement lands its events.
+	// cannot emit before the background measurement lands its events. The
+	// measurement context is additionally stop-aware: a client Close must
+	// be able to unhang a detector stalled on a blackholed connect whose
+	// virtual timeout will never fire again.
 	directLane := sp.Lane("direct")
 	directCh := make(chan detect.Outcome, 1)
+	dctx, dcancel := c.stopCtx(ctx)
 	go func() {
-		out := c.det.Measure(trace.WithLane(ctx, directLane), url, detect.HTTP)
+		defer dcancel()
+		out := c.det.Measure(trace.WithLane(dctx, directLane), url, detect.HTTP)
 		directLane.Close()
 		directCh <- out
 	}()
@@ -174,14 +216,15 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 	// The redundant copy must be able to outlive this call: when the direct
 	// response is served first, the copy keeps running in the background so
 	// phase 2 can still catch a phase-1 false negative (§4.3.1). The
-	// transport's own timeout bounds it.
-	cctx := context.WithoutCancel(ctx)
+	// transport's own timeout bounds it — and client shutdown cancels it.
+	cctx, ccancel := c.stopCtx(context.WithoutCancel(ctx))
 	// The copy goroutine opens circumvention lanes after this call may have
 	// returned; the hold keeps the span from emitting (and being pool-
 	// recycled) until it is done.
 	sp.Hold()
 	go func() {
 		defer sp.Release()
+		defer ccancel()
 		if d := c.cfg.RedundantDelay; d > 0 {
 			// Staggered copy: if the direct path answers within the delay,
 			// the redundant request is never sent (§7.1, footnote 10).
@@ -208,6 +251,10 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 
 	select {
 	case out := <-directCh:
+		if out.Status == localdb.NotMeasured {
+			// Aborted measurement (shutdown): nothing to serve or record.
+			return &Result{URL: url, Source: "direct", Status: out.Status, Err: out.Err}
+		}
 		if !out.Blocked() && !out.Suspected {
 			// Clean direct response: serve immediately. If the copy has
 			// not been sent yet (still inside the stagger delay), it never
@@ -236,9 +283,14 @@ func (c *Client) fetchUnmeasured(ctx context.Context, url string) *Result {
 			c.bg.Add(1)
 			go func() {
 				defer c.bg.Done()
-				out := <-directCh
-				res := c.settleBackground(url, out, cr.resp)
-				_ = res
+				// Honor shutdown: Close must not wait behind a direct
+				// measurement that can no longer finish (directCh is
+				// buffered, so the measuring goroutine never blocks).
+				select {
+				case out := <-directCh:
+					c.settleBackground(url, out, cr.resp)
+				case <-c.stop:
+				}
 			}()
 			return &Result{URL: url, Resp: cr.resp, Source: cr.source, Status: localdb.NotMeasured}
 		}
@@ -349,11 +401,16 @@ func (c *Client) finishPhase2FalseNegative(url string, out detect.Outcome, circu
 	c.bg.Add(1)
 	go func() {
 		defer c.bg.Done()
-		cr := <-circumCh
-		if cr.err != nil || cr.resp == nil {
-			return
+		// Honor shutdown: the copy sender never blocks (circumCh is
+		// buffered), so abandoning the receive leaks nothing.
+		select {
+		case cr := <-circumCh:
+			if cr.err != nil || cr.resp == nil {
+				return
+			}
+			c.settleBackground(url, out, cr.resp)
+		case <-c.stop:
 		}
-		c.settleBackground(url, out, cr.resp)
 	}()
 }
 
@@ -394,9 +451,17 @@ func (c *Client) fetchBlocked(ctx context.Context, url string, stages []localdb.
 		c.bg.Add(1)
 		go func() {
 			defer c.bg.Done()
-			mctx, cancel := c.clock.WithTimeout(context.Background(), time.Minute)
+			// Stop-aware: Close cancels the measurement even when the
+			// virtual clock (and thus the timeout below) never advances
+			// again.
+			sctx, scancel := c.stopCtx(context.Background())
+			defer scancel()
+			mctx, cancel := c.clock.WithTimeout(sctx, time.Minute)
 			defer cancel()
 			out := c.det.Measure(mctx, url, detect.HTTP)
+			if out.Status == localdb.NotMeasured {
+				return // aborted mid-measure: not a verdict
+			}
 			if !out.Blocked() {
 				c.bump("false-report-corrected")
 				c.recordOutcome(url, localdb.NotBlocked, nil)

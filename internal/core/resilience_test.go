@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"csaw/internal/core"
+	"csaw/internal/leakcheck"
+	"csaw/internal/localdb"
+	"csaw/internal/worldgen"
+)
+
+// A nanosecond failover budget expires inside the first circumvention
+// attempt: the ladder must stop, count the exhaustion, and still serve the
+// least-bad thing it has (the block page) rather than walking all four
+// candidates.
+func TestFailoverBudgetExhaustion(t *testing.T) {
+	_, c := newCaseStudyClient(t, func(cfg *core.Config) {
+		cfg.FailoverBudget = time.Nanosecond
+	}, "ISP-A")
+	res := fetchURL(t, c, worldgen.YouTubeHost+"/")
+	if res.Err == nil && res.Source != "direct" {
+		t.Fatalf("circumvention succeeded under a 1ns budget: source=%s", res.Source)
+	}
+	if c.Counter("failover-budget-exhausted") == 0 {
+		t.Fatal("failover-budget-exhausted not counted")
+	}
+	// The budget expiry must not have benched the approach it interrupted.
+	if c.Counter("quarantine-bench") != 0 {
+		t.Fatal("budget expiry struck the quarantine record")
+	}
+}
+
+// A negative budget disables the ladder deadline entirely.
+func TestFailoverBudgetDisabled(t *testing.T) {
+	_, c := newCaseStudyClient(t, func(cfg *core.Config) {
+		cfg.FailoverBudget = -1
+	}, "ISP-A")
+	res := fetchURL(t, c, worldgen.YouTubeHost+"/")
+	if !res.OK() || res.Source == "direct" {
+		t.Fatalf("blocked fetch = %+v (err=%v), want circumvented", res, res.Err)
+	}
+	if c.Counter("failover-budget-exhausted") != 0 {
+		t.Fatal("budget counted while disabled")
+	}
+}
+
+// A local-DB verdict recorded before the censor's current epoch must be
+// re-detected, once; the fresh verdict is then trusted again.
+func TestStaleVerdictRedetection(t *testing.T) {
+	var mu sync.Mutex
+	var epoch time.Time
+	w, c := newCaseStudyClient(t, func(cfg *core.Config) {
+		cfg.CensorEpoch = func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return epoch
+		}
+	}, "ISP-A")
+
+	url := worldgen.NewsHost + "/"
+	if res := fetchURL(t, c, url); !res.OK() || res.Source != "direct" {
+		t.Fatalf("baseline fetch = %+v (err=%v)", res, res.Err)
+	}
+	c.WaitIdle()
+	if c.Counter("stale-verdict") != 0 {
+		t.Fatal("stale-verdict before any epoch")
+	}
+
+	// The censor flips an hour later; the NotBlocked record now predates
+	// the epoch and must not be trusted.
+	w.Clock.Advance(time.Hour)
+	mu.Lock()
+	epoch = w.Clock.Now()
+	mu.Unlock()
+
+	if res := fetchURL(t, c, url); !res.OK() {
+		t.Fatalf("re-detect fetch failed: %v", res.Err)
+	}
+	c.WaitIdle()
+	if got := c.Counter("stale-verdict"); got != 1 {
+		t.Fatalf("stale-verdict = %d, want 1", got)
+	}
+	if _, st := c.DB().Lookup(url); st != localdb.NotBlocked {
+		t.Fatalf("re-detected status = %v", st)
+	}
+
+	// The re-measured record is fresh: no second re-detection.
+	if res := fetchURL(t, c, url); !res.OK() {
+		t.Fatalf("post-re-detect fetch failed: %v", res.Err)
+	}
+	if got := c.Counter("stale-verdict"); got != 1 {
+		t.Fatalf("stale-verdict = %d after fresh record, want 1", got)
+	}
+}
+
+// Close alone — no WaitIdle — must reap every background goroutine the
+// fetch pipeline spawned: settle/refresh workers, redundant-copy watchers,
+// stop-context watchers.
+func TestCloseReapsBackgroundWork(t *testing.T) {
+	_, c := newCaseStudyClient(t, nil, "ISP-A")
+	// Warm the world (transports, proxies, classifier) before the baseline
+	// so only fetch-pipeline goroutines are measured below.
+	_ = fetchURL(t, c, worldgen.NewsHost+"/")
+	_ = fetchURL(t, c, worldgen.YouTubeHost+"/")
+	c.WaitIdle()
+
+	leakcheck.Check(t)
+	// Blocked and clean fetches in flight leave background settlement and
+	// redundant-copy goroutines behind; Close must not strand them.
+	_ = fetchURL(t, c, worldgen.YouTubeHost+"/")
+	_ = fetchURL(t, c, worldgen.SmallHost+"/")
+	c.Close()
+}

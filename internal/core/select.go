@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"csaw/internal/httpx"
@@ -31,6 +32,9 @@ func (c *Client) selectApproach(sp *trace.Span, url string, stages []localdb.Sta
 			relays = append(relays, a)
 		}
 	}
+	// Quarantine: benched approaches are invisible to selection unless the
+	// bench emptied every tier (see quarFilterTiers).
+	locals, relays = c.quarFilterTiers(sp, locals, relays)
 	if len(locals) > 0 {
 		a := c.bestByEWMA(url, locals)
 		c.traceChoice(sp, url, a, "local-fix", locals)
@@ -146,7 +150,11 @@ func (c *Client) circumFetch(ctx context.Context, url string, stages []localdb.S
 // circumFetchVia fetches via a specific approach, racing cfg.Copies
 // isolated copies (separate Tor circuits, Figure 6a); if every copy fails,
 // it fails over down the remaining candidates — penalizing each failure in
-// the moving averages so future selection avoids broken approaches.
+// the moving averages (and striking the quarantine record) so future
+// selection avoids broken approaches. The whole ladder walk shares one
+// virtual-time deadline budget (Config.FailoverBudget): a censor that
+// *drops* instead of resetting cannot pin a fetch for attempts × transport
+// timeout.
 func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, stages []localdb.Stage) (*httpx.Response, string, error) {
 	if app == nil {
 		return nil, "", fmt.Errorf("core: no circumvention approach available for %s (pref=%d)", url, c.cfg.Pref)
@@ -157,6 +165,12 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 		copies = 1
 	}
 	sp := trace.SpanFromContext(ctx)
+	parent := ctx
+	if b := c.failoverBudget(); b > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = c.clock.WithTimeout(ctx, b)
+		defer cancel()
+	}
 	var firstErr error
 	for attempt, a := range c.candidateOrder(url, stages, app) {
 		if attempt > 0 {
@@ -179,16 +193,29 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 			lane.Close()
 			sp.EventNum("select", "observe", a.Name, seconds)
 			c.ewmaObserve(a, url, seconds)
+			c.quarRestore(sp, a)
 			return resp, a.Name, nil
 		}
 		lane.Event("circum", "fail", err.Error())
 		lane.Close()
-		sp.EventNum("select", "observe", a.Name, failurePenaltySeconds)
-		c.ewmaObserve(a, url, failurePenaltySeconds)
+		if ctx.Err() == nil {
+			// Only a failure the approach had time to earn counts against
+			// it; a budget expiry (or caller cancellation) mid-attempt
+			// blames the deadline, not the approach — neither the moving
+			// average nor the quarantine record remembers it, so a
+			// budget-cut rung stays effectively untried.
+			sp.EventNum("select", "observe", a.Name, failurePenaltySeconds)
+			c.ewmaObserve(a, url, failurePenaltySeconds)
+			c.quarStrike(sp, a)
+		}
 		if firstErr == nil {
 			firstErr = fmt.Errorf("core: circumvention via %s failed: %w", a.Name, err)
 		}
 		if ctx.Err() != nil {
+			if parent.Err() == nil {
+				c.bump("failover-budget-exhausted")
+				sp.Event("circum", "budget-exhausted", a.Name)
+			}
 			break
 		}
 	}
@@ -201,7 +228,9 @@ func (c *Client) circumFetchVia(ctx context.Context, app *Approach, url string, 
 const failurePenaltySeconds = 120
 
 // candidateOrder is the failover sequence: the selected approach, then the
-// other applicable local fixes, then relays, each tier in EWMA order.
+// other applicable local fixes, then relays, each tier in EWMA order —
+// benched approaches excluded (the selected one is exempt: selection
+// already vetted or overrode it).
 func (c *Client) candidateOrder(url string, stages []localdb.Stage, first *Approach) []*Approach {
 	out := []*Approach{first}
 	seen := map[*Approach]bool{first: true}
@@ -226,6 +255,9 @@ func (c *Client) candidateOrder(url string, stages []localdb.Stage, first *Appro
 		if c.cfg.Pref == PreferAnonymity && !a.Anonymous {
 			continue
 		}
+		if !c.quarAllowed(a) {
+			continue
+		}
 		switch {
 		case a.Kind == KindLocalFix && stages != nil && a.Handles(url, stages):
 			locals = append(locals, a)
@@ -244,6 +276,22 @@ func (c *Client) candidateOrder(url string, stages []localdb.Stage, first *Appro
 
 func (c *Client) ewmaObserve(app *Approach, url string, seconds float64) {
 	c.ewmaFor(app, url, true).Observe(seconds)
+}
+
+// ewmaResetLocked forgets an approach's moving averages (per-approach for
+// local fixes, per-URL for relays). Caller holds c.mu. Used when a bench
+// expires into probation: the pre-bench average was poisoned by the very
+// failures that benched the approach, and an approach scored by a poisoned
+// average would never be re-probed — resetting it to untried (optimistic
+// zero) is what makes the probation probe actually run.
+func (c *Client) ewmaResetLocked(app *Approach) {
+	delete(c.ewma, app.Name)
+	prefix := app.Name + "|"
+	for k := range c.ewma {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.ewma, k)
+		}
+	}
 }
 
 // raceCopies launches k copies of the fetch (each over isolated path state

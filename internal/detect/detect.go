@@ -163,6 +163,23 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 			lane.Event("detect", "verdict", out.Status.String()+" "+out.StageSummary())
 		}()
 	}
+	// A blocking verdict reached only because the *caller's* context expired
+	// or was cancelled mid-measurement describes the caller — a failover
+	// deadline budget, a client shutdown — not the censor, and must never be
+	// recorded as a verdict. (Registered after the lane defer so the trace
+	// records the rewritten verdict.)
+	defer func() {
+		if ctx.Err() != nil && out.Status == localdb.Blocked {
+			out.Status = localdb.NotMeasured
+			out.Suspected = false
+			out.Stages = nil
+			out.Detected = 0
+			out.TimeoutPhase = ""
+			if out.Err == nil {
+				out.Err = ctx.Err()
+			}
+		}
+	}()
 
 	host, path := localdb.SplitURL(url)
 
@@ -183,6 +200,21 @@ func (d *Detector) Measure(ctx context.Context, url string, scheme Scheme) (out 
 			detail := dnsDetail(res)
 			gres := d.GDNS.Lookup(ctx, host)
 			if !gres.OK() {
+				gdetail := dnsDetail(gres)
+				if silentDNS(detail) && silentDNS(gdetail) && ctx.Err() == nil {
+					// Both resolvers went *silent*. Dead names answer with
+					// NXDOMAIN; dropped queries on both the ISP and the
+					// global path mean on-path DNS interception (a censor
+					// poisoning/dropping foreign resolver traffic — the
+					// counter-circumvention escalation). That is a verdict,
+					// not an unresolvable name.
+					out.TimeoutPhase = "dns"
+					out.Stages = append(out.Stages, localdb.Stage{Type: localdb.BlockDNS, Detail: detail})
+					out.Status = localdb.Blocked
+					out.Detected = d.Clock.Since(start)
+					out.Err = fmt.Errorf("detect: %s: DNS silent on local and global paths: local %v, global %v", host, res.Err, gres.Err)
+					return out
+				}
 				// Not resolvable anywhere: a dead name, not censorship.
 				out.Detected = 0
 				out.Err = fmt.Errorf("detect: %s unresolvable: local %v, global %v", host, res.Err, gres.Err)
@@ -378,6 +410,13 @@ func httpBlockFor(s Scheme) localdb.BlockType {
 		return localdb.BlockSNI
 	}
 	return localdb.BlockHTTP
+}
+
+// silentDNS reports whether a DNS failure detail means "no usable answer
+// ever arrived" — the signature of dropped/intercepted queries, as opposed
+// to an authoritative NXDOMAIN/SERVFAIL which proves a resolver was heard.
+func silentDNS(detail string) bool {
+	return detail == "no-response" || detail == "timeout"
 }
 
 func dnsDetail(res dnsx.Result) string {

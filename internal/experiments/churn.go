@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/core"
+	"csaw/internal/localdb"
+	"csaw/internal/metrics"
+	"csaw/internal/trace"
+	"csaw/internal/worldgen"
+)
+
+// Round counts for the censor-churn experiment. Six post-flip rounds bound
+// recovery structurally: the flip round burns the ladder, rounds 2-3 try
+// whatever the residual blackhole left unbenched, rounds 4-5 run the
+// probation probes of the benched fixes (bench = 45 virtual minutes ≈ two
+// round gaps), and by round 6 every applicable fix has a real observed
+// average, so EWMA selection has converged on the cheapest survivor.
+const (
+	churnBaselineRounds = 3
+	churnFlipRounds     = 6
+	// churnRoundGap separates the two clients' fetches; one full round is
+	// two gaps. It clears epoch 1's residual window (2 minutes) before the
+	// next client acts, and spaces the explicit sync rounds.
+	churnRoundGap = 10 * time.Minute
+)
+
+// churnPhase aggregates one client's rounds within one policy epoch.
+type churnPhase struct {
+	Spikes    int // !OK or PLT > 6× pre-flip steady state
+	Degraded  int // between 1.5× and 6×
+	Recovered int // PLT within 1.5× of pre-flip steady state
+	FirstRec  int // 1-based round index of first recovery; 0 = never
+	// steadyNext is the slowest recovered PLT, the next phase's yardstick.
+	steadyNext time.Duration
+}
+
+func (p *churnPhase) observe(round int, class string, took time.Duration) {
+	switch class {
+	case "spike":
+		p.Spikes++
+	case "degraded":
+		p.Degraded++
+	default:
+		p.Recovered++
+		if p.FirstRec == 0 {
+			p.FirstRec = round
+		}
+		if took > p.steadyNext {
+			p.steadyNext = took
+		}
+	}
+}
+
+// churnClass buckets a fetch against the pre-flip steady-state PLT. The
+// measured durations feed only these comparisons — the report renders
+// counts, never times, so same-seed runs stay byte-identical despite
+// scheduler jitter on the virtual clock. The cutoffs are chosen so no
+// structural outcome sits near one: domain fronting (served by the nearby
+// CDN replica, never crossing the origin distance) runs ≈1.27× direct,
+// the origin-bound fixes ≈1.7× (https, ip-as-hostname), and a spike round
+// (a detection timeout plus a residual-blackholed ladder walk) ≥12× —
+// every class sits ≥13% (≥0.28 virtual seconds) from its nearest cutoff,
+// several times the jitter envelope even in a race build at the reduced
+// clock scale.
+func churnClass(res *core.Result, steady time.Duration) string {
+	if res == nil || !res.OK() {
+		return "spike"
+	}
+	t, s := float64(res.Took), float64(steady)
+	switch {
+	case t <= 1.5*s:
+		return "recovered"
+	case t > 6*s:
+		return "spike"
+	default:
+		return "degraded"
+	}
+}
+
+// CensorChurn drives two clients through the three-epoch churn scenario
+// (worldgen.BuildChurnISP): a clean baseline, a flip to HTTP block pages
+// with residual censorship, and a counter-circumvention escalation that
+// kills every origin-bound fix (leaving only domain fronting, whose flows
+// the censor cannot attribute to the site). Client A measures everything the hard way —
+// stale-verdict re-detection, a failover ladder blackholed by residual
+// censorship until the budget expires, quarantine benching and probation
+// re-probes — and posts its findings; client B rides the crowd: its stale
+// local verdict is bypassed by A's fresh global report, so it skips
+// straight to a working fix and never spikes at either flip. The invariant
+// the paper's §4.3 story needs: after each flip, PLT returns to within
+// 1.5× of the pre-flip steady state within the phase, without restarting a
+// client.
+func CensorChurn(o Options) (*Result, error) {
+	scale := o.Scale
+	if scale <= 0 {
+		// Low scale: classification compares measured PLTs against ratio
+		// cutoffs, and scheduler jitter is amplified by the clock scale.
+		// The race detector adds real scheduling gaps of its own, so a
+		// race build (make race, make soak-churn) slows down further to
+		// keep the gaps well inside the classification margins.
+		scale = 40
+		if raceEnabled {
+			scale = 10
+		}
+	}
+	// Moderate last-mile bandwidth keeps serialization visible without
+	// letting it dominate: circumvented paths carry roughly double the
+	// bytes of a direct fetch, so at very low bandwidth *every* fix
+	// converges to ≈2× direct and nothing can land inside the 1.5×
+	// recovery cutoff, while at very high bandwidth the TLS fixes drift
+	// down onto the cutoff itself. 32 KiB/s (with ChurnOriginRTT tuned to
+	// match) holds the spread described at churnClass, with the per-class
+	// gaps each ≈0.3 virtual seconds wide so real scheduling noise times
+	// the clock scale stays far inside them.
+	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: o.seed(), Bandwidth: 32 << 10})
+	if err != nil {
+		return nil, err
+	}
+	originIP, err := w.AddChurnSite()
+	if err != nil {
+		return nil, err
+	}
+	isp, schedule, err := w.BuildChurnISP(o.seed(), originIP)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	url := worldgen.ChurnHost + "/"
+
+	var tracer *trace.Tracer
+	if o.Trace != nil {
+		tracer = o.Trace(w.Clock)
+	}
+	mk := func(name string, seedOff int64) (*core.Client, error) {
+		host := w.NewClientHost(name, isp)
+		cfg := w.ClientConfig(host, o.seed()+seedOff)
+		cfg.Serial = true
+		cfg.PSet, cfg.P = true, 0 // trust the crowd fully: B's path is the point
+		cfg.SyncInterval = 24 * time.Hour // rounds sync explicitly below
+		cfg.ASNProbeAddr = ""
+		// Tight enough that a residual-censorship blackhole (45 s per
+		// dropped connect) exhausts it mid-walk — so the flip round always
+		// leaves at least one fix unbenched for the next round — wide
+		// enough that at least one rung always runs to completion and gets
+		// benched. Every walk order ends ≥10 s from the budget boundary,
+		// far above scheduler jitter.
+		cfg.FailoverBudget = 60 * time.Second
+		// One completed failure benches (the blackholed walk should bench
+		// whatever it touched); the 45-minute bench spans two round gaps,
+		// so probation probes land mid-phase and the re-probed averages
+		// still have rounds left to converge.
+		cfg.Quarantine = core.QuarantinePolicy{
+			Strikes:   1,
+			BenchBase: 45 * time.Minute,
+			BenchMax:  3 * time.Hour,
+		}
+		cfg.CensorEpoch = isp.Censor.EpochStart
+		cfg.Trace = tracer
+		cl, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Start(ctx); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("censor-churn: %s start: %w", name, err)
+		}
+		return cl, nil
+	}
+	a, err := mk("churn-a", 11)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	b, err := mk("churn-b", 23)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+
+	fetch := func(cl *core.Client) *core.Result {
+		res := cl.FetchURL(ctx, url)
+		cl.WaitIdle()
+		return res
+	}
+	advanceTo := func(target time.Time) {
+		if d := target.Sub(w.Clock.Now()); d > 0 {
+			w.Clock.Advance(d)
+		}
+	}
+
+	// Baseline: epoch 0 is clean; both clients build NotBlocked records.
+	// The slowest baseline round (the first includes a full detection) is
+	// the steady-state yardstick for the first flip.
+	var steadyA, steadyB time.Duration
+	for r := 1; r <= churnBaselineRounds; r++ {
+		ra, rb := fetch(a), fetch(b)
+		for _, p := range []struct {
+			name string
+			res  *core.Result
+		}{{"A", ra}, {"B", rb}} {
+			if !p.res.OK() || p.res.Status != localdb.NotBlocked {
+				return nil, fmt.Errorf("censor-churn: baseline round %d client %s: status %v err %v",
+					r, p.name, p.res.Status, p.res.Err)
+			}
+		}
+		if ra.Took > steadyA {
+			steadyA = ra.Took
+		}
+		if rb.Took > steadyB {
+			steadyB = rb.Took
+		}
+		w.Clock.Advance(churnRoundGap)
+	}
+
+	// runPhase drives both clients through one post-flip epoch. Per round:
+	// A fetches (and measures), the gap clears any residual window, A posts
+	// its report, B downloads it, then B fetches on crowd intelligence.
+	runPhase := func(flip censor.Epoch, rounds int, steadyA, steadyB time.Duration) (pa, pb churnPhase, err error) {
+		advanceTo(flip.Start.Add(time.Minute))
+		var clA, clB []string
+		for r := 1; r <= rounds; r++ {
+			ra := fetch(a)
+			w.Clock.Advance(churnRoundGap)
+			if err := a.SyncNow(ctx); err != nil {
+				return pa, pb, fmt.Errorf("censor-churn: %s round %d: A sync: %w", flip.Policy.Name, r, err)
+			}
+			if err := b.SyncNow(ctx); err != nil {
+				return pa, pb, fmt.Errorf("censor-churn: %s round %d: B sync: %w", flip.Policy.Name, r, err)
+			}
+			rb := fetch(b)
+			w.Clock.Advance(churnRoundGap)
+			ca, cb := churnClass(ra, steadyA), churnClass(rb, steadyB)
+			pa.observe(r, ca, ra.Took)
+			pb.observe(r, cb, rb.Took)
+			clA, clB = append(clA, ca), append(clB, cb)
+		}
+		// Structural acceptance. A (the measurer): the flip round — a
+		// re-detection plus a ladder walk the censor blackholes — must be
+		// its only spike, and by the final round EWMA selection must have
+		// converged back onto the cheapest surviving fix. B (the crowd
+		// rider): never spikes at all, and converges the same way.
+		if clA[0] != "spike" || pa.Spikes != 1 {
+			return pa, pb, fmt.Errorf("censor-churn: %s: client A classes %v, want the flip round to be the only spike",
+				flip.Policy.Name, clA)
+		}
+		if clA[rounds-1] != "recovered" {
+			return pa, pb, fmt.Errorf("censor-churn: %s: client A did not converge back to within 1.5× of pre-flip PLT (%v)",
+				flip.Policy.Name, clA)
+		}
+		if pb.Spikes != 0 {
+			return pa, pb, fmt.Errorf("censor-churn: %s: client B spiked despite fresh crowd intelligence (%v)",
+				flip.Policy.Name, clB)
+		}
+		if clB[rounds-1] != "recovered" {
+			return pa, pb, fmt.Errorf("censor-churn: %s: client B did not converge back to within 1.5× of pre-flip PLT (%v)",
+				flip.Policy.Name, clB)
+		}
+		return pa, pb, nil
+	}
+
+	p1a, p1b, err := runPhase(schedule[1], churnFlipRounds, steadyA, steadyB)
+	if err != nil {
+		return nil, err
+	}
+	p2a, p2b, err := runPhase(schedule[2], churnFlipRounds, p1a.steadyNext, p1b.steadyNext)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cross-checks on the machinery the recovery rode on.
+	st := &isp.Censor.Stats
+	if got := st.Get("epoch-flip"); got != 2 {
+		return nil, fmt.Errorf("censor-churn: censor counted %d epoch flips, want 2", got)
+	}
+	if got := a.Counter("stale-verdict"); got != 2 {
+		return nil, fmt.Errorf("censor-churn: A stale-verdict = %d, want 2 (one per flip)", got)
+	}
+	if got := a.Counter("stale-global-ignored"); got != 1 {
+		return nil, fmt.Errorf("censor-churn: A stale-global-ignored = %d, want 1 (epoch-1 report at flip 2)", got)
+	}
+	wantB := 2 * churnFlipRounds
+	if got := b.Counter("stale-verdict"); got != wantB {
+		return nil, fmt.Errorf("censor-churn: B stale-verdict = %d, want %d (every post-flip round rides the crowd)", got, wantB)
+	}
+	if a.Counter("failover-budget-exhausted") == 0 {
+		return nil, fmt.Errorf("censor-churn: the residual blackhole never exhausted A's failover budget")
+	}
+	if a.Counter("quarantine-bench") == 0 {
+		return nil, fmt.Errorf("censor-churn: no approach was ever benched")
+	}
+	if a.Counter("quarantine-parole") == 0 {
+		return nil, fmt.Errorf("censor-churn: no benched approach was ever paroled for a probation probe")
+	}
+	if st.Get("residual-drop") == 0 {
+		return nil, fmt.Errorf("censor-churn: residual censorship never dropped a flow")
+	}
+
+	res := &Result{ID: "censor-churn", Title: "PLT collapse and crowd-sourced recovery across censor policy flips"}
+	tbl := metrics.Table{Headers: []string{"phase", "client", "spike", "degraded", "recovered", "rounds-to-recovery"}}
+	for _, row := range []struct {
+		phase, client string
+		p             churnPhase
+	}{
+		{"epoch1-blockpage", "A (measures)", p1a},
+		{"epoch1-blockpage", "B (crowd)", p1b},
+		{"epoch2-escalated", "A (measures)", p2a},
+		{"epoch2-escalated", "B (crowd)", p2b},
+	} {
+		tbl.AddRow(row.phase, row.client,
+			fmt.Sprintf("%d", row.p.Spikes), fmt.Sprintf("%d", row.p.Degraded),
+			fmt.Sprintf("%d", row.p.Recovered), fmt.Sprintf("%d", row.p.FirstRec))
+	}
+	sched := metrics.Table{Headers: []string{"epoch", "flip offset (min)", "policy"}}
+	for i, ep := range schedule {
+		off := int(ep.Start.Sub(schedule[0].Start).Minutes())
+		sched.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", off), ep.Policy.Name)
+	}
+	resil := metrics.Table{Headers: []string{"counter", "value"}}
+	resil.AddRow("A stale-verdict re-detections", fmt.Sprintf("%d", a.Counter("stale-verdict")))
+	resil.AddRow("A stale global reports ignored", fmt.Sprintf("%d", a.Counter("stale-global-ignored")))
+	resil.AddRow("A failover budgets exhausted", fmt.Sprintf("%d", a.Counter("failover-budget-exhausted")))
+	resil.AddRow("A approaches benched", fmt.Sprintf("%d", a.Counter("quarantine-bench")))
+	resil.AddRow("A probation paroles", fmt.Sprintf("%d", a.Counter("quarantine-parole")))
+	resil.AddRow("B stale-verdict re-detections", fmt.Sprintf("%d", b.Counter("stale-verdict")))
+	resil.AddRow("B approaches benched", fmt.Sprintf("%d", b.Counter("quarantine-bench")))
+	resil.AddRow("censor epoch flips", fmt.Sprintf("%d", st.Get("epoch-flip")))
+	resil.AddRow("censor residual windows armed", fmt.Sprintf("%d", st.Get("residual-arm")))
+	resil.AddRow("censor residual flow drops", fmt.Sprintf("%d", st.Get("residual-drop")))
+	res.Text = "epoch schedule:\n" + sched.String() + "\nround classification vs pre-flip steady-state PLT:\n" +
+		tbl.String() + "\nresilience machinery:\n" + resil.String()
+
+	res.Metric("flip1.a.spike_rounds", float64(p1a.Spikes))
+	res.Metric("flip1.a.rounds_to_recovery", float64(p1a.FirstRec))
+	res.Metric("flip1.b.spike_rounds", float64(p1b.Spikes))
+	res.Metric("flip1.b.rounds_to_recovery", float64(p1b.FirstRec))
+	res.Metric("flip2.a.spike_rounds", float64(p2a.Spikes))
+	res.Metric("flip2.a.rounds_to_recovery", float64(p2a.FirstRec))
+	res.Metric("flip2.b.spike_rounds", float64(p2b.Spikes))
+	res.Metric("flip2.b.rounds_to_recovery", float64(p2b.FirstRec))
+	res.Metric("a.stale_verdict", float64(a.Counter("stale-verdict")))
+	res.Metric("a.budget_exhausted", float64(a.Counter("failover-budget-exhausted")))
+	res.Metric("a.quarantine_bench", float64(a.Counter("quarantine-bench")))
+	res.Metric("a.quarantine_parole", float64(a.Counter("quarantine-parole")))
+	res.Metric("b.stale_verdict", float64(b.Counter("stale-verdict")))
+	res.Metric("censor.epoch_flips", float64(st.Get("epoch-flip")))
+	res.Metric("censor.residual_drops", float64(st.Get("residual-drop")))
+	res.Note("recovery is in-band: no client restarts; A re-detects at each flip (stale-verdict), B's stale verdicts are overridden by A's fresh global report — B never spikes at either flip")
+	res.Note("epoch 1's residual censorship blackholes A's first failover ladder until the per-fetch budget expires; the benched fixes return mid-phase as probation probes with reset averages, and selection converges back onto the cheapest survivor")
+	return res, nil
+}

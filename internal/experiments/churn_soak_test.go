@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"csaw/internal/trace"
+	"csaw/internal/vtime"
+)
+
+// TestSoakChurn is the `make soak-churn` gate: run the censor-churn
+// scenario twice with the same seed (under -race via the make target) and
+// require the rendered report AND the deterministic-profile trace artifact
+// to be byte-identical. The experiment classifies measured PLTs against
+// ratio cutoffs, so this catches any outcome that drifted close enough to
+// a cutoff for scheduler jitter to flap it — and any schedule-dependent
+// nondeterminism in the recorder. Gated behind CSAW_SOAK because it runs
+// the full two-flip scenario twice.
+func TestSoakChurn(t *testing.T) {
+	if os.Getenv("CSAW_SOAK") == "" {
+		t.Skip("set CSAW_SOAK=1 (or run `make soak-churn`) to run the churn determinism soak")
+	}
+	r := Find("censor-churn")
+	if r == nil {
+		t.Fatal("no censor-churn runner")
+	}
+	run := func() (string, []byte) {
+		var buf bytes.Buffer
+		sink := trace.NewStreamSink(&buf)
+		res, err := r.Run(Options{Seed: 3, Trace: func(clock *vtime.Clock) *trace.Tracer {
+			return trace.New(clock, sink) // deterministic profile: no timing
+		}})
+		if err != nil {
+			t.Fatalf("censor-churn: %v", err)
+		}
+		return res.Render(), buf.Bytes()
+	}
+	render1, trace1 := run()
+	render2, trace2 := run()
+	if render1 != render2 {
+		t.Errorf("same-seed renders differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", render1, render2)
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Errorf("same-seed trace artifacts differ (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	if len(trace1) == 0 {
+		t.Error("trace artifact is empty — the churn clients emitted no spans")
+	}
+	t.Logf("soak: render %d bytes, trace %d bytes, byte-identical across runs", len(render1), len(trace1))
+}

@@ -137,6 +137,7 @@ func All() []Runner {
 		{"ablation-explore", "Ablation: exploration cadence n", AblationExplore},
 		{"ablation-fingerprint", "Ablation: censor-visible request footprint (§8)", AblationFingerprint},
 		{"sync-fault", "Sync convergence under global-DB outages", SyncFault},
+		{"censor-churn", "PLT collapse and crowd-sourced recovery across censor policy flips", CensorChurn},
 		{"fleet", "Population-scale fleet workload", Fleet},
 		{"trace-breakdown", "PLT phase breakdown behind ISP-B (flight recorder)", TraceBreakdown},
 	}

@@ -44,4 +44,6 @@ func TestSmokeAbl5(t *testing.T) { smoke(t, "ablation-fingerprint", 3) }
 
 func TestSmokeSyncFault(t *testing.T) { smoke(t, "sync-fault", 3) }
 
+func TestSmokeCensorChurn(t *testing.T) { smoke(t, "censor-churn", 1) }
+
 func TestSmokeFleet(t *testing.T) { smoke(t, "fleet", 50) }

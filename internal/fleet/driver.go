@@ -53,6 +53,13 @@ type Options struct {
 	// SerialClients forces cfg.Serial on every client: detect first, then
 	// circumvent, no racing goroutines — the deterministic trace discipline.
 	SerialClients bool
+	// FailoverBudget overrides the per-fetch failover-ladder budget on every
+	// client. Zero keeps the fleet default of disabled (-1): at O(10k)
+	// goroutines a healthy fetch can measure minutes of virtual time, and a
+	// budget would misread that stall noise as a dead ladder. Set it
+	// (csaw-fleet -failover-budget) when driving small fleets against
+	// dropping censors, where the walk must be deadline-bounded.
+	FailoverBudget time.Duration
 }
 
 // Run executes the plan against a built world + fleet scenario and returns
@@ -236,6 +243,16 @@ func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenar
 	cfg.DetectConnectTimeout = detectDeadline
 	cfg.DetectHTTPTimeout = detectDeadline
 	cfg.DNSAttemptTimeout = detectDeadline
+	// Same stall rationale as the detector deadlines: at O(10k) goroutines
+	// a healthy circumvention fetch can *measure* minutes of virtual time,
+	// so the failover-ladder budget and quarantine (which would turn stall
+	// noise into benches and fetch errors) are disabled for fleet clients
+	// unless the run asks for a budget explicitly (Options.FailoverBudget).
+	cfg.FailoverBudget = -1
+	if opts.FailoverBudget != 0 {
+		cfg.FailoverBudget = opts.FailoverBudget
+	}
+	cfg.Quarantine.Strikes = -1
 	cfg.Trace = opts.Trace
 	if opts.SerialClients {
 		cfg.Serial = true

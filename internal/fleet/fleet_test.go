@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"csaw/internal/leakcheck"
 	"csaw/internal/worldgen"
 )
 
@@ -36,6 +37,21 @@ func runFleetOpts(t *testing.T, wl Workload, scale float64, mod func(w *worldgen
 		t.Fatalf("run: %v", err)
 	}
 	return res
+}
+
+// The driver joins and retires every client over the run; afterwards
+// nothing of the client plane — sync loops, background settlements,
+// stop-context watchers — may survive. The baseline is taken in the
+// options hook, after the world is built, so world-owned goroutines
+// (listener accept loops) are excluded and only client/driver goroutines
+// are measured.
+func TestFleetRunLeavesNoClientGoroutines(t *testing.T) {
+	wl := smokeWorkload(17)
+	wl.Population = 40
+	_ = runFleetOpts(t, wl, 2400, func(_ *worldgen.World, o *Options) {
+		o.Workers = 8
+		leakcheck.Check(t)
+	})
 }
 
 // smokeWorkload is small enough for the ordinary test run.

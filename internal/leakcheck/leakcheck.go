@@ -1,0 +1,73 @@
+// Package leakcheck asserts that a test leaves no goroutines behind — the
+// guard for the client-shutdown contract: Close must reap the sync/probe
+// loops, background settlement goroutines, and stop-context watchers, even
+// when the virtual clock never advances again.
+//
+// It deliberately uses wall-clock polling (the goroutines being reaped run
+// on real scheduler time once their contexts are cancelled; virtual time is
+// irrelevant to teardown) and a small tolerance for runtime-internal
+// goroutines.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time" //lint:allow-realtime teardown polling measures the real scheduler, not simulated time
+)
+
+// Tolerance absorbs runtime-owned goroutines that come and go outside the
+// test's control (GC workers, timer goroutines, netem housekeeping started
+// by earlier tests in the same binary).
+const Tolerance = 3
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if, after polling for a grace period, more than baseline +
+// Tolerance goroutines remain. Call it first thing in a test:
+//
+//	func TestX(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+func Check(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second) //lint:allow-realtime goroutine settling is real-scheduler time, not simulation time
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= baseline+Tolerance {
+				return
+			}
+			if time.Now().After(deadline) { //lint:allow-realtime real settling deadline
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(10 * time.Millisecond) //lint:allow-realtime real backoff between goroutine-count polls
+		}
+		t.Errorf("leakcheck: %d goroutines still running (baseline %d, tolerance %d)\n%s",
+			n, baseline, Tolerance, stacks())
+	})
+}
+
+// stacks renders the live goroutine stacks, trimmed to the interesting
+// lines so a failure report stays readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	gs := strings.Split(string(buf), "\n\n")
+	sort.Strings(gs)
+	var b strings.Builder
+	for i, g := range gs {
+		if i >= 25 {
+			fmt.Fprintf(&b, "... and %d more\n", len(gs)-i)
+			break
+		}
+		b.WriteString(g)
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

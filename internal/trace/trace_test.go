@@ -217,6 +217,103 @@ func TestPhasePartitionSumsToPLT(t *testing.T) {
 	}
 }
 
+// TestPhasePartitionWithFailoverLadder replays the span shape the mid-fetch
+// failover ladder produces — stale-verdict re-detection, failed candidate
+// lanes with partial phase measurements, quarantine and budget span events,
+// and a late-starting serving lane — and checks the partition invariant
+// survives: the serving lane's phases plus switch plus other still sum
+// exactly to the PLT, with the failed lanes' time attributed to the switch
+// penalty rather than double-counted.
+func TestPhasePartitionWithFailoverLadder(t *testing.T) {
+	clock := frozenClock()
+	sink := &CollectSink{}
+	tr := New(clock, sink)
+
+	sp := tr.Start("c", 1, "blocked.example/")
+	sp.Event("db", "stale-verdict", "not-blocked")
+
+	// Re-detection: a direct measurement that ends in a Blocked verdict.
+	det := sp.Lane("direct")
+	m := det.Begin(PhaseDNS)
+	clock.Advance(40 * time.Millisecond)
+	m.End()
+	m = det.Begin(PhaseConnect)
+	clock.Advance(30 * time.Millisecond)
+	m.End()
+	det.Event("detect", "verdict", "blocked")
+	det.Close()
+
+	// The ladder walks two candidates that fail mid-fetch; each failure
+	// benches its approach at the span level.
+	for _, name := range []string{"gdns", "front"} {
+		l := sp.Lane(name)
+		l.Event("circum", "attempt", name)
+		m := l.Begin(PhaseConnect)
+		clock.Advance(55 * time.Millisecond)
+		m.End()
+		m = l.Begin(PhaseTLS)
+		clock.Advance(20 * time.Millisecond)
+		m.End()
+		l.Event("circum", "fail", name+": connection reset")
+		l.Close()
+		sp.Event("quarantine", "bench", name)
+	}
+	sp.Event("circum", "budget-exhausted", "front")
+
+	// The serving lane opens 220ms in: 70ms of re-detection plus two 75ms
+	// failed rungs. All of that must land in PhaseSwitch.
+	serve := sp.Lane("tor")
+	phaseMS := map[Phase]int{PhaseDNS: 10, PhaseConnect: 15, PhaseTLS: 25, PhaseTTFB: 5, PhaseBody: 60}
+	for p := PhaseDNS; p <= PhaseBody; p++ {
+		m := serve.Begin(p)
+		clock.Advance(time.Duration(phaseMS[p]) * time.Millisecond)
+		m.End()
+	}
+	clock.Advance(12 * time.Millisecond) // unattributed bookkeeping tail
+	serve.Close()
+	sp.Finish("tor", "circumvented", nil)
+
+	recs := sink.Records()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(recs))
+	}
+	r := recs[0]
+	if !r.HasPhases {
+		t.Fatal("no phase partition despite a serving lane")
+	}
+	if len(r.Lanes) != 4 {
+		t.Fatalf("recorded %d lanes, want 4 (detect + 2 failed + serving)", len(r.Lanes))
+	}
+	var sum time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		if r.Phases[p] < 0 {
+			t.Errorf("negative %s phase %v", p, r.Phases[p])
+		}
+		sum += r.Phases[p]
+	}
+	if sum != r.PLT {
+		t.Errorf("phases sum to %v, PLT %v", sum, r.PLT)
+	}
+	if want := 220 * time.Millisecond; r.Phases[PhaseSwitch] != want {
+		t.Errorf("switch = %v, want %v (re-detect + failed rungs)", r.Phases[PhaseSwitch], want)
+	}
+	if want := 12 * time.Millisecond; r.Phases[PhaseOther] != want {
+		t.Errorf("other = %v, want %v", r.Phases[PhaseOther], want)
+	}
+	// The span-level failover events must all survive into the record.
+	events := map[string]int{}
+	for _, e := range r.Events {
+		events[e.Layer+"/"+e.Name]++
+	}
+	for name, want := range map[string]int{
+		"db/stale-verdict": 1, "quarantine/bench": 2, "circum/budget-exhausted": 1,
+	} {
+		if events[name] != want {
+			t.Errorf("event %s recorded %d times, want %d", name, events[name], want)
+		}
+	}
+}
+
 // --- Lifetime: lanes and holds defer emission ---------------------------
 
 func TestEmissionWaitsForLanesAndHolds(t *testing.T) {

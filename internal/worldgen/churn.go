@@ -1,0 +1,133 @@
+package worldgen
+
+import (
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/web"
+)
+
+// Churn scenario: the adversarial censor of the censor-churn experiment.
+// One ISP walks through three policy epochs on virtual time, escalating at
+// each flip against whatever the clients found to work in the previous one.
+//
+// The target site lives *alone* on a *frontable* origin, which shapes the
+// fix ladder precisely: "IP as hostname" works (a single-site origin
+// answers bare-IP requests unambiguously) and so does domain fronting (the
+// CDN front also serves the site) — so epoch 1 leaves several fixes
+// standing, and epoch 2 can take everything away except fronting.
+//
+// Unlike the Figure-1 sites, the churn origin sits ChurnOriginRTT away from
+// the censored region while the CDN front keeps its usual nearby edge. The
+// front serves frontable sites from its own replica — it never detours to
+// the origin — so domain fronting is the one fix whose cost does not grow
+// with origin distance. That is the ordinary CDN situation (edge close,
+// origin far), and it gives the recovery story a fix that is *cheaper* than
+// the fixes it competes with: fronting lands well inside 1.5× of the direct
+// pre-flip PLT, while https and ip-as-hostname (whose every leg crosses the
+// full origin distance, plus a TLS handshake or a public-DNS detour) stay
+// well outside it.
+//
+//	epoch 0  clean — nothing blocked, clients build NotBlocked records
+//	epoch 1  HTTP block page on ChurnHost, plus residual censorship: any
+//	         enforcement punishes the client's source IP for
+//	         ChurnResidualWindow (so the first post-flip failover ladder
+//	         runs into a blackhole, not just a block page). Viable fixes:
+//	         ip-as-hostname (cheap — the Host header carries the bare IP,
+//	         which the Host-keyed rule never matches), https and fronting
+//	         (both pay the TLS handshake).
+//	epoch 2  counter-circumvention: the censor drops all traffic to the
+//	         site's IP (killing ip-as-hostname and the TCP leg of https)
+//	         and drops TLS flows whose SNI names the site. Detection now
+//	         sees a connect timeout, and the only local fix whose traffic
+//	         the censor cannot attribute to the site is domain fronting.
+//	         No residual window here: epoch 2 models a censor that relies
+//	         on protocol reach rather than IP punishment, which also keeps
+//	         the failover ladder observable.
+const (
+	// ChurnHost is the blocked site of the churn scenario.
+	ChurnHost = "video.example.net"
+	// ChurnEpoch1After / ChurnEpoch2After are the flip offsets from the
+	// schedule's installation time. Each gap leaves room for several
+	// recovery rounds (tens of virtual minutes apart) inside the epoch.
+	ChurnEpoch1After = 2 * time.Hour
+	ChurnEpoch2After = 8 * time.Hour
+	// ChurnResidualWindow is how long an epoch-1 enforcement blackholes
+	// its client — long enough to cover a whole failover-ladder walk.
+	ChurnResidualWindow = 2 * time.Minute
+	// ChurnOriginRTT is the censored-region RTT to the churn origin's
+	// location: far enough that the nearby CDN replica beats every
+	// origin-bound fix, near enough that those fixes stay clearly in the
+	// degraded band rather than converging toward the 1.5× cutoff. The
+	// value balances the two margins (fronting below the cutoff, https
+	// above it) at ≥11% each — farther favors fronting, nearer favors
+	// https, both asymptotically erode one side.
+	ChurnOriginRTT = 400 * time.Millisecond
+)
+
+// AddChurnSite mounts the churn target site alone on its own frontable
+// origin and returns that origin's IP (epoch 2's IP-drop target). Page
+// sizing mirrors the YouTube home page so PLTs match the Figure-1 world;
+// the origin lives in its own distant location (see the package comment on
+// the CDN-edge geometry), which AddOrigin cannot express.
+func (w *World) AddChurnSite() (originIP string, err error) {
+	site := web.NewSite(ChurnHost)
+	site.AddPage("/", "Churn Video", 20<<10, 120<<10, 100<<10, 80<<10, 28<<10, 12<<10)
+	w.Net.SetRTT("pk", "churn-origin", ChurnOriginRTT)
+	// CDN fill and crawler paths; also Tor's us-exits at their usual
+	// origin-side distance. Unlisted pairs fall back to the netem base RTT.
+	w.Net.SetRTT("us", "churn-origin", 90*time.Millisecond)
+	w.Net.SetRTT("cloud", "churn-origin", 90*time.Millisecond)
+	h := w.Net.MustAddHost("origin-churn", w.nextIP("93.184"), "churn-origin", w.Net.AS(900))
+	if _, err := web.NewOrigin(h, site); err != nil {
+		return "", err
+	}
+	w.Registry.Set(ChurnHost, h.IP())
+	w.Front.AddSite(site)
+	return h.IP(), nil
+}
+
+// ChurnPolicies returns the three epoch policies of the churn scenario, in
+// order. originIP is the churn site's origin address (from AddChurnSite),
+// which epoch 2 blackholes. Exposed separately from BuildChurnISP so
+// cmd/csaw-client can install the same escalation against its interactive
+// ISP.
+func ChurnPolicies(originIP string) (e0, e1, e2 *censor.Policy) {
+	e0 = &censor.Policy{Name: "epoch0-clean"}
+	e1 = &censor.Policy{
+		Name:           "epoch1-blockpage",
+		HTTP:           []censor.HTTPRule{{Host: ChurnHost, Action: censor.HTTPBlockPage}},
+		ResidualWindow: ChurnResidualWindow,
+	}
+	e2 = &censor.Policy{
+		Name: "epoch2-escalated",
+		HTTP: []censor.HTTPRule{{Host: ChurnHost, Action: censor.HTTPBlockPage}},
+		SNI:  map[string]censor.TLSAction{ChurnHost: censor.TLSDrop},
+		IP:   map[string]censor.IPAction{originIP: censor.IPDrop},
+	}
+	return e0, e1, e2
+}
+
+// BuildChurnISP creates the churn ISP with the three-epoch schedule armed
+// (flips at ChurnEpoch1After and ChurnEpoch2After from now) and churn
+// enabled with the given seed. originIP is the churn site's origin address
+// (from AddChurnSite). The returned schedule is what the censor will walk;
+// experiments surface it in their reports, and clients should wire
+// Config.CensorEpoch to isp.Censor.EpochStart so stale-verdict
+// re-detection tracks the flips.
+func (w *World) BuildChurnISP(seed int64, originIP string) (*ISP, []censor.Epoch, error) {
+	isp, err := w.AddISP(64513, "ISP-Churn", &censor.Policy{})
+	if err != nil {
+		return nil, nil, err
+	}
+	e0, e1, e2 := ChurnPolicies(originIP)
+	now := w.Clock.Now()
+	schedule := []censor.Epoch{
+		{Start: now, Policy: e0},
+		{Start: now.Add(ChurnEpoch1After), Policy: e1},
+		{Start: now.Add(ChurnEpoch2After), Policy: e2},
+	}
+	isp.Censor.EnableChurn(w.Clock, seed)
+	isp.Censor.SetSchedule(schedule)
+	return isp, schedule, nil
+}
