@@ -5,8 +5,15 @@
 #   make lint        — csaw-lint: the simulation-invariant analyzers
 #   make race        — full test suite under the race detector
 #   make check       — vet + race + lint (the pre-merge gate alongside tier1)
-#   make bench-fleet — emit BENCH_fleet.json (fleet throughput + the
-#                      sharded-vs-legacy global-DB sync-round comparison)
+#   make bench-fleet — emit BENCH_fleet.json (fleet throughput, the
+#                      sharded-vs-legacy global-DB sync-round comparison,
+#                      and the population-vs-throughput curve with its
+#                      10x event-vs-scaled gate: 10k clients on a 72h
+#                      steady-state window, where the scaled engine pays
+#                      its window/scale real-sleep floor; takes ~10 min,
+#                      most of it that floor)
+#   make bench-fleet-full — bench-fleet with the 100k-client event-mode
+#                      curve point included (several extra minutes)
 #   make soak-churn  — seeded censor-churn soak under -race: the scenario
 #                      runs twice and the summary + trace artifact must be
 #                      byte-identical
@@ -16,7 +23,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check bench-fleet soak-churn golden fuzz cover
+.PHONY: all build test tier1 vet lint race check bench-fleet bench-fleet-full soak-churn golden fuzz cover
 
 all: tier1
 
@@ -40,7 +47,10 @@ race:
 check: vet race lint
 
 bench-fleet:
-	CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v
+	CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v -timeout 30m
+
+bench-fleet-full:
+	CSAW_BENCH_FLEET_FULL=1 CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v -timeout 60m
 
 # Determinism soak for the adversarial-churn scenario: same seed twice,
 # rendered summary and deterministic-profile trace must not differ by a

@@ -6,15 +6,24 @@
 //
 // Usage:
 //
-//	csaw-fleet [-population N] [-duration D] [-seed N]
+//	csaw-fleet [-population N | -clients N] [-duration D] [-seed N]
 //	           [-sites N] [-isps N] [-blocked-frac F]
-//	           [-scale S] [-workers N] [-o measured.json] [-progress]
+//	           [-mode auto|event|scaled] [-scale S] [-workers N]
+//	           [-o measured.json] [-progress]
 //	           [-trace trace.jsonl] [-trace-sample N] [-failover-budget D]
 //
+// -mode picks the virtual-clock engine. "event" (the default under auto)
+// runs the discrete-event scheduler: virtual time jumps straight to the
+// next timer, so a 100k-client run finishes in real seconds and the PLT /
+// virtual-seconds measurements are meaningless (every sleep is free).
+// "scaled" runs the real-scaled clock (virtual time = wall time × scale),
+// where PLT distributions are physically meaningful; auto selects it when
+// -scale or -trace is given.
+//
 // -trace streams flight-recorder spans (sampled 1-in-N URLs, deterministic
-// hash) as JSONL. Tracing forces workers=1 and serial clients so the trace
-// content — not just the summary — is byte-identical across same-seed runs;
-// expect a slower wall clock.
+// hash) as JSONL. Tracing forces workers=1, serial clients, and the scaled
+// clock so the trace content — not just the summary — is byte-identical
+// across same-seed runs; expect a slower wall clock.
 //
 // -failover-budget deadline-bounds each fetch's failover-ladder walk in
 // virtual time. Fleet clients default to no budget (goroutine-scale stall
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"csaw/internal/fleet"
@@ -38,6 +48,7 @@ import (
 func main() {
 	var (
 		population  = flag.Int("population", 500, "number of clients")
+		mode        = flag.String("mode", "auto", "clock engine: auto, event (discrete-event, timing measurements meaningless), or scaled (real-scaled clock)")
 		duration    = flag.Duration("duration", 0, "virtual observation window (0 = workload default, 2h)")
 		seed        = flag.Int64("seed", 1, "seed for the workload plan and all client randomness")
 		sites       = flag.Int("sites", 0, "site catalog size (0 = workload default)")
@@ -50,7 +61,9 @@ func main() {
 		traceOut    = flag.String("trace", "", "write flight-recorder spans as JSONL to this file (forces workers=1, serial clients)")
 		traceSample = flag.Int("trace-sample", trace.DefaultSampleN, "trace one URL in N (deterministic hash-of-URL)")
 		failBudget  = flag.Duration("failover-budget", 0, "per-fetch failover-ladder budget in virtual time (0 = fleet default: disabled; use with small fleets against dropping censors)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
+	flag.IntVar(population, "clients", 500, "number of clients (alias for -population)")
 	flag.Parse()
 
 	wl := fleet.Workload{
@@ -62,10 +75,36 @@ func main() {
 		BlockedFrac: *blockedFrac,
 	}.WithDefaults()
 
-	if *scale <= 0 {
-		*scale = autoScale(wl.Population)
+	// Clock engine. auto = discrete-event unless the operator pinned a scale
+	// or asked for a trace (trace byte-stability is defined on the scaled
+	// clock, where spans carry physically meaningful durations).
+	eventDriven := false
+	switch *mode {
+	case "event":
+		eventDriven = true
+		if *scale > 0 {
+			fatal(fmt.Errorf("-scale is meaningless with -mode event"))
+		}
+		if *traceOut != "" {
+			fatal(fmt.Errorf("-trace needs the scaled clock (spans carry real durations); use -mode scaled"))
+		}
+	case "scaled":
+	case "auto":
+		eventDriven = *scale <= 0 && *traceOut == ""
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (want auto, event, or scaled)", *mode))
 	}
-	w, err := worldgen.New(worldgen.Options{Scale: *scale, Seed: wl.Seed})
+
+	var w *worldgen.World
+	var err error
+	if eventDriven {
+		w, err = worldgen.New(worldgen.Options{EventDriven: true, Seed: wl.Seed})
+	} else {
+		if *scale <= 0 {
+			*scale = autoScale(wl.Population)
+		}
+		w, err = worldgen.New(worldgen.Options{Scale: *scale, Seed: wl.Seed})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +113,11 @@ func main() {
 		fatal(err)
 	}
 	plan := fleet.BuildPlan(wl)
-	fmt.Fprintf(os.Stderr, "plan: %s (scale %g, %d workers)\n", plan, *scale, *workers)
+	if eventDriven {
+		fmt.Fprintf(os.Stderr, "plan: %s (event-driven clock, %d workers)\n", plan, *workers)
+	} else {
+		fmt.Fprintf(os.Stderr, "plan: %s (scaled clock, scale %g, %d workers)\n", plan, *scale, *workers)
+	}
 
 	opts := fleet.Options{Workers: *workers, FailoverBudget: *failBudget}
 	var traceFile *os.File
@@ -102,6 +145,16 @@ func main() {
 				s.FetchErrors, s.Syncs, s.SyncErrors, s.Goroutines)
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now() //lint:allow-realtime reporting wall-clock runtime to the operator
 	res, err := fleet.Run(context.Background(), w, sc, plan, opts)
 	if err != nil {
@@ -124,11 +177,10 @@ func main() {
 	// stdout carries only the deterministic summary — the byte-identical
 	// same-seed artifact.
 	fmt.Print(res.Summary.Render())
-	if !res.Summary.Consistent() {
-		fmt.Fprintln(os.Stderr, "ERROR: global-DB per-AS lists diverged from the plan expectation")
-		os.Exit(1)
-	}
 
+	// The measured section is written even when the consistency check is
+	// about to fail the run: its counters (fetch/sync errors, degraded
+	// clients) are exactly what diagnosing a divergence needs.
 	if *out != "" {
 		raw, err := json.MarshalIndent(&res.Measured, "", "  ")
 		if err != nil {
@@ -141,6 +193,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "measured section written to %s\n", *out)
 	} else {
 		fmt.Fprint(os.Stderr, res.Measured.Render())
+	}
+
+	if !res.Summary.Consistent() {
+		fmt.Fprintln(os.Stderr, "ERROR: global-DB per-AS lists diverged from the plan expectation")
+		os.Exit(1)
 	}
 }
 

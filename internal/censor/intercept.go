@@ -120,8 +120,12 @@ func (c *Censor) handleHTTP(f netem.Flow, s *netem.Session) {
 		client.Close()
 		server.Close()
 	}
-	cbr := bufio.NewReader(client)
-	sbr := bufio.NewReader(server)
+	// Both readers stay local to this handler (unlike handleTLS's, which is
+	// handed to the splice goroutines), so they can go back to the pool.
+	cbr := httpx.GetReader(client)
+	defer httpx.PutReader(cbr)
+	sbr := httpx.GetReader(server)
+	defer httpx.PutReader(sbr)
 	for {
 		req, err := httpx.ReadRequest(cbr)
 		if err != nil {

@@ -73,7 +73,10 @@ type Config struct {
 	ASNProbeHost string
 
 	// P, ExploreEvery, MaxConns, SyncInterval, ASNProbeInterval default as
-	// above when zero. TTL is the local_DB record lifetime.
+	// above when zero. TTL is the local_DB record lifetime. A negative
+	// SyncInterval disables the background sync loop entirely (no goroutine,
+	// no ticker): the owner drives synchronization explicitly via SyncNow,
+	// as the fleet driver does for its 100k clients.
 	P                float64
 	PSet             bool // distinguishes P=0 (valid: trust global DB fully) from unset
 	ExploreEvery     int

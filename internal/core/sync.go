@@ -31,11 +31,15 @@ func (c *Client) Start(ctx context.Context) error {
 	return nil
 }
 
-// startLoops launches the periodic sync and ASN probe goroutines.
+// startLoops launches the periodic sync and ASN probe goroutines. A
+// negative SyncInterval means the owner syncs explicitly (SyncNow) and no
+// loop goroutine or ticker is created at all — the fleet driver runs 100k
+// clients this way, so "one parked ticker per client" is not a rounding
+// error there.
 func (c *Client) startLoops() {
-	if c.cfg.GlobalDB != nil {
+	if c.cfg.GlobalDB != nil && c.cfg.SyncInterval >= 0 {
 		interval := c.cfg.SyncInterval
-		if interval <= 0 {
+		if interval == 0 {
 			interval = DefaultSyncInterval
 		}
 		c.loops.Add(1)
@@ -260,10 +264,14 @@ func (c *Client) syncRound(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// mergeEntries unions two entries' stages.
+// mergeEntries unions two entries' stages. The stage slices may be shared
+// with the globaldb client's conditional-fetch cache (and with earlier
+// rounds' globalCache entries), so the merge must never append in place:
+// the full slice expression pins capacity to force copy-on-append.
 func mergeEntries(a, b globaldb.Entry) globaldb.Entry {
 	seen := make(map[localdb.BlockType]bool)
 	merged := a
+	merged.Stages = a.Stages[:len(a.Stages):len(a.Stages)]
 	for _, s := range a.Stages {
 		seen[localdb.BlockType(s.Type)] = true
 	}

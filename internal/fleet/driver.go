@@ -24,15 +24,14 @@ const (
 	// Summary's listed-equals-expected invariant needs every client's last
 	// pending reports flushed.
 	finalSyncRetries = 5
-	// detectDeadline replaces the detector's 21s/18s defaults. Affirmative
-	// blocking signals answer in RTTs; the slack only absorbs scheduler
-	// stalls, which at O(10k) goroutines can exceed the defaults — and a
-	// blown detector deadline is not just an error, it is a *verdict*.
+	// detectDeadline replaces the detector's 21s/18s defaults under the
+	// real-scaled clock. Affirmative blocking signals answer in RTTs; the
+	// slack only absorbs scheduler stalls, which at O(10k) goroutines can
+	// exceed the defaults — and a blown detector deadline is not just an
+	// error, it is a *verdict*. Under the discrete-event clock the slack
+	// must instead outlast shared-virtual-time drift, so joinClient uses
+	// worldgen.EventFleetSlack there.
 	detectDeadline = 2 * time.Hour
-	// neverSync parks the client's periodic sync loop beyond any window;
-	// the driver syncs explicitly (at join, after each session, at exit) so
-	// sync traffic is worker-bounded instead of 10k free-running tickers.
-	neverSync = 1000 * time.Hour
 	// samplePeriod is the live-counter / goroutine-gauge cadence (virtual).
 	samplePeriod = time.Minute
 )
@@ -62,9 +61,63 @@ type Options struct {
 	FailoverBudget time.Duration
 }
 
+// tev is one scheduled action in the run's global timeline, packed
+// struct-of-hot-fields: the dispatcher walks a single sorted slice of these
+// instead of per-worker merged queues, and the slice is the discrete-event
+// scheduler's natural event feed (each gap between consecutive events is
+// one clock jump). seq orders a client's own events (0 = join, 1..n =
+// session n, n+1 = leave) under equal times; last marks the client's final
+// event, after which the worker retires it eagerly instead of holding the
+// client (and its local DB) live to the end of the window.
+type tev struct {
+	at   time.Duration
+	cidx int32
+	seq  int32
+	last bool
+}
+
+// buildTimeline flattens the plan into one (at, cidx, seq)-sorted slice.
+func buildTimeline(plan *Plan) []tev {
+	n := 0
+	for i := range plan.Clients {
+		n += 2 + len(plan.Clients[i].Sessions)
+	}
+	tl := make([]tev, 0, n)
+	for i := range plan.Clients {
+		cp := &plan.Clients[i]
+		cidx := int32(cp.Index)
+		tl = append(tl, tev{at: cp.Join, cidx: cidx, seq: 0})
+		for s := range cp.Sessions {
+			tl = append(tl, tev{at: cp.Sessions[s].At, cidx: cidx, seq: int32(s + 1)})
+		}
+		if cp.Leave > 0 {
+			tl = append(tl, tev{at: cp.Leave, cidx: cidx, seq: int32(len(cp.Sessions) + 1)})
+		}
+		tl[len(tl)-1].last = true
+	}
+	sort.Slice(tl, func(i, j int) bool {
+		a, b := tl[i], tl[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.cidx != b.cidx {
+			return a.cidx < b.cidx
+		}
+		return a.seq < b.seq
+	})
+	return tl
+}
+
 // Run executes the plan against a built world + fleet scenario and returns
 // the deterministic Summary plus the Measured section. The world must have
 // been built with BuildFleetScenario and nothing else driving it.
+//
+// One dispatcher goroutine walks the global timeline, pacing the clock
+// (sleeping under the real-scaled clock, jumping under the discrete-event
+// one) and feeding a fixed worker pool; client i always lands on worker
+// i%workers, so each client's events stay FIFO. Any worker error cancels
+// the run-scoped context, which stops the dispatcher and drains the pool
+// promptly instead of letting the other workers finish their timelines.
 func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, plan *Plan, opts Options) (*RunResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -75,6 +128,17 @@ func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, pla
 	}
 	st := newStats(plan.Workload.Seed)
 	start := w.Clock.Now()
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var failOnce sync.Once
+	var runErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			runErr = err
+			cancelRun()
+		})
+	}
 
 	// Live sampler: goroutine gauge + progress callback, on virtual time.
 	sampleStop := make(chan struct{})
@@ -98,129 +162,133 @@ func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, pla
 		}
 	}()
 
-	errCh := make(chan error, workers)
+	tl := buildTimeline(plan)
+	// Clients are lazily instantiated at join and indexed by plan index;
+	// slot i is owned by worker i%workers, so slots are never contended.
+	clients := make([]*core.Client, len(plan.Clients))
+
+	// Per-worker queues sized to hold every event they will ever receive:
+	// the dispatcher never blocks on a slow worker, it only paces the clock.
+	perWorker := make([]int, workers)
+	for _, ev := range tl {
+		perWorker[int(ev.cidx)%workers]++
+	}
+	queues := make([]chan tev, workers)
+	for wk := range queues {
+		queues[wk] = make(chan tev, perWorker[wk])
+	}
+
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
-		var mine []*ClientPlan
-		for i := range plan.Clients {
-			if i%workers == wk {
-				mine = append(mine, &plan.Clients[i])
+		wg.Add(1)
+		go func(queue <-chan tev) {
+			defer wg.Done()
+			for ev := range queue {
+				if runCtx.Err() != nil {
+					continue // cancelled: drain without executing
+				}
+				runEvent(runCtx, w, sc, plan, clients, ev, st, opts, fail)
+			}
+		}(queues[wk])
+	}
+
+	clock := w.Clock
+	for _, ev := range tl {
+		if runCtx.Err() != nil {
+			break
+		}
+		if d := ev.at - clock.Since(start); d > 0 {
+			if err := clock.SleepCtx(runCtx, d); err != nil {
+				break
 			}
 		}
-		wg.Add(1)
-		go func(mine []*ClientPlan) {
-			defer wg.Done()
-			if err := runWorker(ctx, w, sc, mine, st, start, opts); err != nil {
-				select {
-				case errCh <- err:
-				default:
-				}
-			}
-		}(mine)
+		queues[int(ev.cidx)%workers] <- ev
+	}
+	for _, q := range queues {
+		close(q)
 	}
 	wg.Wait()
 	close(sampleStop)
 	sampleWG.Wait()
+
+	// Cancelled path: close whatever is still alive without syncing (the
+	// context is dead; a forced flush would only mint bogus sync errors).
+	for i, cl := range clients {
+		if cl != nil {
+			cl.Close()
+			clients[i] = nil
+		}
+	}
 	st.observeGoroutines(runtime.NumGoroutine())
 
-	select {
-	case err := <-errCh:
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
-	default:
 	}
 	return collect(w, sc, plan, st, workers, w.Clock.Since(start)), nil
 }
 
-// event is one scheduled action of a worker's merged timeline. seq orders a
-// client's own events (join < sessions < leave) under equal times.
-type event struct {
-	at   time.Duration
-	cidx int
-	seq  int
-	cp   *ClientPlan
-	sess *Session
-}
-
-// runWorker drives its clients' merged, time-ordered event queue: lazy
-// client creation at join, explicit sync after each session, and a flush +
-// close at leave (churn) or end of plan.
-func runWorker(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario,
-	mine []*ClientPlan, st *Stats, start time.Time, opts Options) error {
-	var events []event
-	for _, cp := range mine {
-		seq := 0
-		events = append(events, event{at: cp.Join, cidx: cp.Index, seq: seq, cp: cp})
-		for i := range cp.Sessions {
-			seq++
-			events = append(events, event{at: cp.Sessions[i].At, cidx: cp.Index, seq: seq, cp: cp, sess: &cp.Sessions[i]})
-		}
-		if cp.Leave > 0 {
-			seq++
-			events = append(events, event{at: cp.Leave, cidx: cp.Index, seq: seq, cp: cp})
-		}
-	}
-	sort.Slice(events, func(i, j int) bool {
-		a, b := events[i], events[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.cidx != b.cidx {
-			return a.cidx < b.cidx
-		}
-		return a.seq < b.seq
-	})
-
-	clients := make(map[int]*core.Client, len(mine))
-	defer func() {
-		// Error path: don't leak sync loops.
-		for _, cl := range clients {
-			cl.Close()
-		}
-	}()
-
-	clock := w.Clock
-	for _, ev := range events {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if d := ev.at - clock.Since(start); d > 0 {
-			clock.Sleep(d)
-		}
-		switch cl := clients[ev.cidx]; {
-		case ev.seq == 0:
-			// Join: build and start the client.
-			c, err := joinClient(ctx, w, sc, ev.cp, opts)
-			if err != nil {
-				return fmt.Errorf("fleet: client %d join: %w", ev.cp.Index, err)
+// runEvent executes one timeline event on its owning worker.
+func runEvent(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario,
+	plan *Plan, clients []*core.Client, ev tev, st *Stats, opts Options, fail func(error)) {
+	cidx := int(ev.cidx)
+	cp := &plan.Clients[cidx]
+	switch {
+	case ev.seq == 0:
+		cl, err := joinClient(ctx, w, sc, cp, opts)
+		if err != nil {
+			// A join killed by run cancellation is not a client failure.
+			if ctx.Err() == nil {
+				fail(fmt.Errorf("fleet: client %d join: %w", cp.Index, err))
 			}
-			clients[ev.cidx] = c
-			st.bump(&st.joined)
-		case ev.sess != nil:
-			for _, url := range ev.sess.URLs {
-				res := c0fetch(ctx, cl, url)
-				st.recordFetch(res.Source, res.Took, res.Err != nil)
-			}
-			st.bump(&st.sessions)
-			st.recordSync(cl.SyncNow(ctx))
-		default:
-			// Leave (churn): flush and shut down early.
+			return
+		}
+		clients[cidx] = cl
+		st.bump(&st.joined)
+	case int(ev.seq) <= len(cp.Sessions):
+		cl := clients[cidx]
+		if cl == nil {
+			return // join failed or was cancelled
+		}
+		sess := &cp.Sessions[ev.seq-1]
+		for _, url := range sess.URLs {
+			res := c0fetch(ctx, cl, url)
+			st.recordFetch(res.Source, res.Took, res.Err != nil)
+		}
+		st.bump(&st.sessions)
+		// Settle before syncing: when circumvention wins the race, the direct
+		// verdict lands via a background goroutine that would otherwise race
+		// this sync's PendingGlobal read. A verdict that misses its own
+		// session's flush stays pending until the client's *next* sync — which
+		// the plan can place more than the local_DB TTL (24 virtual hours)
+		// later, at which point PendingGlobal silently drops it. For a Zipf
+		// tail URL with a single visitor that loses the whole report, and with
+		// it the Summary invariant (listed = blocked ∩ visited). WaitIdle is
+		// sufficient: every background settle is bg.Add-ed inside FetchURL
+		// before it returns, so all of this session's settles are covered.
+		cl.WaitIdle()
+		if err := cl.SyncNow(ctx); ctx.Err() == nil {
+			st.recordSync(err)
+		}
+	default:
+		// Leave (churn): flush and shut down early.
+		if cl := clients[cidx]; cl != nil {
 			retireClient(ctx, cl, st)
-			delete(clients, ev.cidx)
-			st.bump(&st.left)
+			clients[cidx] = nil
+		}
+		st.bump(&st.left)
+		return // leave already retired; last needs no second pass
+	}
+	if ev.last {
+		// The client's final planned event: retire now instead of holding
+		// it (goroutine-free but memory-heavy) until the window closes.
+		if cl := clients[cidx]; cl != nil {
+			retireClient(ctx, cl, st)
+			clients[cidx] = nil
 		}
 	}
-
-	// End of window: flush and close the survivors in index order.
-	idxs := make([]int, 0, len(clients))
-	for i := range clients {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	for _, i := range idxs {
-		retireClient(ctx, clients[i], st)
-		delete(clients, i)
-	}
-	return nil
 }
 
 // c0fetch is FetchURL with a nil-result guard (FetchURL always returns a
@@ -239,10 +307,17 @@ func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenar
 	host := w.NewClientHost(fmt.Sprintf("fleet-c%05d", cp.Index), sc.ISPs[cp.ISP])
 	cfg := w.LightClientConfig(host, cp.Seed)
 	cfg.PSet, cfg.P = true, 0
-	cfg.SyncInterval = neverSync
-	cfg.DetectConnectTimeout = detectDeadline
-	cfg.DetectHTTPTimeout = detectDeadline
-	cfg.DNSAttemptTimeout = detectDeadline
+	// The driver syncs explicitly (at join, after each session, at retire),
+	// so the per-client background sync loop is disabled outright — at 100k
+	// clients even parked tickers and loop goroutines are real weight.
+	cfg.SyncInterval = -1
+	deadline := detectDeadline
+	if w.Clock.EventDriven() {
+		deadline = worldgen.EventFleetSlack
+	}
+	cfg.DetectConnectTimeout = deadline
+	cfg.DetectHTTPTimeout = deadline
+	cfg.DNSAttemptTimeout = deadline
 	// Same stall rationale as the detector deadlines: at O(10k) goroutines
 	// a healthy circumvention fetch can *measure* minutes of virtual time,
 	// so the failover-ladder budget and quarantine (which would turn stall
@@ -263,9 +338,14 @@ func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenar
 	}
 	// Start registers and performs the initial list download. Registration
 	// is idempotent across attempts (the UUID sticks once assigned), so a
-	// sync that lost a timing race under load is safe to retry.
+	// sync that lost a timing race under load is safe to retry — but a
+	// cancelled run must not burn retries on a dead context.
 	var startErr error
 	for attempt := 0; attempt < finalSyncRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			cl.Close()
+			return nil, err
+		}
 		if startErr = cl.Start(ctx); startErr == nil {
 			return cl, nil
 		}
@@ -276,14 +356,25 @@ func joinClient(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenar
 
 // retireClient drains background work, flushes pending reports, and closes.
 // The flush must succeed for the Summary invariant, hence the retry loop;
-// a client that still can't sync is counted degraded, not fatal.
+// a client that still can't sync is counted degraded, not fatal. A client
+// retired by run cancellation is neither synced nor counted: it was
+// aborted, not degraded.
 func retireClient(ctx context.Context, cl *core.Client, st *Stats) {
 	cl.WaitIdle()
 	var err error
 	for attempt := 0; attempt < finalSyncRetries; attempt++ {
+		if ctx.Err() != nil {
+			cl.Close()
+			return
+		}
 		if err = cl.SyncNow(ctx); err == nil {
 			break
 		}
+	}
+	if ctx.Err() != nil && err != nil {
+		// The last attempt died with the context: aborted, not degraded.
+		cl.Close()
+		return
 	}
 	st.recordSync(err)
 	if cl.Degraded() || err != nil {

@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,7 +21,14 @@ func runFleet(t *testing.T, wl Workload, scale float64, workers int) *RunResult 
 // (tracers need its clock) and the default Options before the run starts.
 func runFleetOpts(t *testing.T, wl Workload, scale float64, mod func(w *worldgen.World, o *Options)) *RunResult {
 	t.Helper()
-	w, err := worldgen.New(worldgen.Options{Scale: scale, Seed: wl.Seed})
+	return runFleetWorld(t, wl, worldgen.Options{Scale: scale, Seed: wl.Seed}, mod)
+}
+
+// runFleetWorld is the general form: the caller picks the full world options
+// (clock mode included).
+func runFleetWorld(t *testing.T, wl Workload, wopts worldgen.Options, mod func(w *worldgen.World, o *Options)) *RunResult {
+	t.Helper()
+	w, err := worldgen.New(wopts)
 	if err != nil {
 		t.Fatalf("world: %v", err)
 	}
@@ -167,5 +176,103 @@ func TestWorkloadShape(t *testing.T) {
 	}
 	if p.Churned == 0 {
 		t.Error("no churned clients at default ChurnFrac over 300 clients")
+	}
+}
+
+// TestEventModeMatchesScaledMode: the Summary is a function of the seed, not
+// the clock engine. A same-seed run under the discrete-event scheduler must
+// render byte-for-byte the Summary the real-scaled clock produces — the
+// invariant that lets the 100k-client event runs stand in for scaled runs.
+func TestEventModeMatchesScaledMode(t *testing.T) {
+	wl := smokeWorkload(11)
+	scaled := runFleetOpts(t, wl, 2400, nil)
+	event := runFleetWorld(t, wl, worldgen.Options{EventDriven: true, Seed: wl.Seed}, nil)
+	if !event.Summary.Consistent() {
+		t.Errorf("event-mode global DB diverged from the plan expectation:\n%s", event.Summary.Render())
+	}
+	if got, want := event.Summary.Render(), scaled.Summary.Render(); got != want {
+		t.Errorf("event-mode summary diverged from scaled-mode:\n--- scaled ---\n%s--- event ---\n%s", want, got)
+	}
+}
+
+// TestEventModeSmoke: the event engine also holds the fleet's health
+// invariants (no fetch/sync errors, nothing degraded), not just the summary.
+func TestEventModeSmoke(t *testing.T) {
+	res := runFleetWorld(t, smokeWorkload(23), worldgen.Options{EventDriven: true, Seed: 23}, nil)
+	if !res.Summary.Consistent() {
+		t.Errorf("global DB diverged:\n%s", res.Summary.Render())
+	}
+	m := res.Measured
+	if m.FetchErrors > 0 || m.SyncErrors > 0 || m.Degraded > 0 {
+		t.Errorf("fetch errors %d, sync errors %d, degraded %d", m.FetchErrors, m.SyncErrors, m.Degraded)
+	}
+	if m.Scale != 0 {
+		t.Errorf("Measured.Scale = %v under event mode, want 0", m.Scale)
+	}
+}
+
+// TestFleetRunCancellation is the regression test for two driver bugs: a
+// cancelled run used to let every worker finish its full timeline (minutes
+// of wall time after the caller gave up), and the join/retire retry loops
+// burned their full retry budgets against the dead context. The run must
+// return promptly with the cancellation error and count no spurious
+// degraded clients.
+func TestFleetRunCancellation(t *testing.T) {
+	wl := smokeWorkload(31)
+	w, err := worldgen.New(worldgen.Options{Scale: 120, Seed: wl.Seed})
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	plan := BuildPlan(wl)
+
+	// At scale 120 the 30m window takes ~15s of wall time: plenty of margin
+	// between "cancelled promptly" and "ran to completion".
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	opts := Options{Workers: 8, Progress: func(Snapshot) {
+		once.Do(cancel) // first virtual minute: run is mid-flight
+	}}
+	start := time.Now() //lint:allow-realtime asserting prompt cancellation needs wall time
+	res, err := Run(ctx, w, sc, plan, opts)
+	took := time.Since(start) //lint:allow-realtime see above
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel = (%v, %v), want context.Canceled", res, err)
+	}
+	if took > 8*time.Second {
+		t.Errorf("cancelled run returned after %v — workers kept executing their timelines", took)
+	}
+}
+
+// TestRetireClientCancelledNoDegraded: a client retired because the run was
+// cancelled was aborted, not degraded — it must contribute neither sync
+// attempts nor a degraded count to the stats.
+func TestRetireClientCancelledNoDegraded(t *testing.T) {
+	wl := smokeWorkload(37)
+	w, err := worldgen.New(worldgen.Options{EventDriven: true, Seed: wl.Seed})
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	sc, err := w.BuildFleetScenario(wl.Sites, wl.ISPs, wl.BlockedFrac)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	plan := BuildPlan(wl)
+	cl, err := joinClient(context.Background(), w, sc, &plan.Clients[0], Options{})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	st := newStats(wl.Seed)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	retireClient(ctx, cl, st)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.degraded != 0 || st.syncs != 0 || st.syncErrors != 0 {
+		t.Errorf("cancelled retire recorded degraded=%d syncs=%d syncErrors=%d, want all 0",
+			st.degraded, st.syncs, st.syncErrors)
 	}
 }

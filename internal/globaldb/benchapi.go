@@ -23,8 +23,12 @@ func (b BenchStore) Ingest(uuid string, now time.Time, reports []Report) (int, b
 	return b.s.ingest(uuid, now, reports)
 }
 
-// FetchResponse serves the /v1/blocked body, as handleFetch does.
-func (b BenchStore) FetchResponse(asn int) []byte { return b.s.fetchResponse(asn) }
+// FetchResponse serves the /v1/blocked body, as handleFetch does for an
+// unconditional request.
+func (b BenchStore) FetchResponse(asn int) []byte {
+	body, _, _ := b.s.fetchResponse(asn, "")
+	return body
+}
 
 // BlockedForAS aggregates an AS's entries.
 func (b BenchStore) BlockedForAS(asn int) []Entry { return b.s.blockedForAS(asn) }

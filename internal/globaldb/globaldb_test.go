@@ -261,6 +261,81 @@ func TestTrustFilterDefaults(t *testing.T) {
 	}
 }
 
+func TestConditionalFetchReusesCache(t *testing.T) {
+	_, _, mk := gdbWorld(t)
+	c := mk("u1", "10.0.0.1")
+	register(t, c)
+	if _, err := c.Report(context.Background(), []localdb.Record{
+		blockedRec("a.example/", 100, localdb.BlockDNS, "nxdomain"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil || len(first) != 1 {
+		t.Fatalf("first fetch = %+v, %v", first, err)
+	}
+	tag := c.blocked[100].tag
+	if tag == "" {
+		t.Fatal("no validator tag cached after a 200 fetch")
+	}
+
+	// Unchanged list: the refetch must come back 304 and hand out the cached
+	// slice itself — no new decode.
+	second, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &second[0] != &first[0] {
+		t.Fatal("unchanged refetch did not reuse the cached entries")
+	}
+	if c.blocked[100].tag != tag {
+		t.Fatalf("tag moved on an unchanged list: %q → %q", tag, c.blocked[100].tag)
+	}
+
+	// New report: the tag must turn over and the next fetch must see the
+	// update (a stale 304 here would freeze the client's list).
+	if _, err := c.Report(context.Background(), []localdb.Record{
+		blockedRec("b.example/", 100, localdb.BlockHTTP, "blockpage"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != 2 {
+		t.Fatalf("post-update fetch = %+v, want 2 entries", third)
+	}
+	if c.blocked[100].tag == tag {
+		t.Fatal("validator tag did not change after a write")
+	}
+}
+
+func TestConditionalFetchRevocationInvalidates(t *testing.T) {
+	_, srv, mk := gdbWorld(t)
+	c := mk("u1", "10.0.0.1")
+	register(t, c)
+	if _, err := c.Report(context.Background(), []localdb.Record{
+		blockedRec("a.example/", 100, localdb.BlockDNS, "nxdomain"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := c.FetchBlocked(context.Background(), 100); err != nil || len(entries) != 1 {
+		t.Fatalf("fetch = %+v, %v", entries, err)
+	}
+	// Revocation bumps the epoch: the cached tag must stop validating even
+	// though the AS index version did not move.
+	srv.Revoke(c.UUID())
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("revoked reports still served from client cache: %+v", entries)
+	}
+}
+
 func TestWireRoundTrip(t *testing.T) {
 	stages := []localdb.Stage{{Type: localdb.BlockDNS, Detail: "nxdomain"}, {Type: localdb.BlockHTTP}}
 	back := FromWire(ToWire(stages))

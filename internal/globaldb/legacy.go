@@ -102,12 +102,15 @@ func (s *legacyStore) blockedForAS(asn int) []Entry {
 	return out
 }
 
-func (s *legacyStore) fetchResponse(asn int) []byte {
+// fetchResponse re-marshals on every call and has no cheap change detector,
+// so it never offers a validator tag: conditional fetches always get the
+// full body from this store.
+func (s *legacyStore) fetchResponse(asn int, _ string) ([]byte, string, bool) {
 	b, err := json.Marshal(FetchResponse{ASN: asn, Entries: s.blockedForAS(asn)})
 	if err != nil {
-		return []byte("{}")
+		return []byte("{}"), "", false
 	}
-	return b
+	return b, "", false
 }
 
 func sortEntries(es []Entry) {

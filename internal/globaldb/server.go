@@ -195,8 +195,17 @@ func (s *Server) handleFetch(req *httpx.Request) *httpx.Response {
 	if asn == 0 {
 		return httpx.NewResponse(400, []byte("missing asn"))
 	}
-	resp := httpx.NewResponse(200, s.store.fetchResponse(asn))
+	body, tag, notModified := s.store.fetchResponse(asn, req.Header.Get("If-None-Match"))
+	if notModified {
+		resp := httpx.NewResponse(304, nil)
+		resp.Header.Set("ETag", tag)
+		return resp
+	}
+	resp := httpx.NewResponse(200, body)
 	resp.Header.Set("Content-Type", "application/json")
+	if tag != "" {
+		resp.Header.Set("ETag", tag)
+	}
 	return resp
 }
 

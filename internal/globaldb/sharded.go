@@ -224,26 +224,32 @@ func (s *shardedStore) ingest(uuid string, now time.Time, reports []Report) (int
 }
 
 func (s *shardedStore) blockedForAS(asn int) []Entry {
-	entries, _ := s.snapshot(asn)
+	entries, _, _ := s.snapshot(asn)
 	out := make([]Entry, len(entries))
 	copy(out, entries)
 	return out
 }
 
-func (s *shardedStore) fetchResponse(asn int) []byte {
-	_, body := s.snapshot(asn)
-	return body
+func (s *shardedStore) fetchResponse(asn int, inm string) ([]byte, string, bool) {
+	_, body, tag := s.snapshot(asn)
+	if inm != "" && inm == tag {
+		return nil, tag, true
+	}
+	return body, tag, false
 }
 
 // snapshot returns the cached aggregation for asn, rebuilding it only when a
-// write or revocation moved the AS's version since the last build. The
-// returned slice and body are shared and must not be mutated.
-func (s *shardedStore) snapshot(asn int) ([]Entry, []byte) {
+// write or revocation moved the AS's version since the last build, plus the
+// validator tag naming the (version, revocation-epoch) pair the snapshot was
+// built at. The returned slice and body are shared and must not be mutated.
+func (s *shardedStore) snapshot(asn int) ([]Entry, []byte, string) {
+	rev := s.revEpoch.Load()
 	idx := s.asIndexFor(asn, false)
 	if idx == nil {
-		return nil, emptyFetchBody(asn)
+		// No reports yet: version 0. The tag still varies with the
+		// revocation epoch so it can never collide with a post-write tag.
+		return nil, emptyFetchBody(asn), snapTag(0, rev)
 	}
-	rev := s.revEpoch.Load()
 	// Load the version before reading index data: a write landing between
 	// the two makes the cached version stale, forcing a harmless rebuild on
 	// the next read rather than ever serving stale data as fresh.
@@ -251,7 +257,7 @@ func (s *shardedStore) snapshot(asn int) ([]Entry, []byte) {
 	idx.snapMu.Lock()
 	defer idx.snapMu.Unlock()
 	if idx.valid && idx.snapVer == ver && idx.snapRev == rev {
-		return idx.entries, idx.body
+		return idx.entries, idx.body, snapTag(idx.snapVer, idx.snapRev)
 	}
 	s.rebuilds.Add(1)
 	entries := s.aggregate(idx)
@@ -261,7 +267,14 @@ func (s *shardedStore) snapshot(asn int) ([]Entry, []byte) {
 	}
 	idx.entries, idx.body = entries, body
 	idx.snapVer, idx.snapRev, idx.valid = ver, rev, true
-	return entries, body
+	return entries, body, snapTag(ver, rev)
+}
+
+// snapTag renders a snapshot's (version, revocation epoch) as the ETag
+// served by /v1/blocked. Both counters only grow, so equal tags always name
+// the same aggregation state.
+func snapTag(ver, rev int64) string {
+	return strconv.FormatInt(ver, 10) + "." + strconv.FormatInt(rev, 10)
 }
 
 // aggregate computes the §5 voting aggregation for one AS. Everything that

@@ -45,7 +45,7 @@ func TestSnapshotCacheNoRebuildOnRepeatedReads(t *testing.T) {
 		if got := s.blockedForAS(100); len(got) != 2 {
 			t.Fatalf("read %d: %d entries", i, len(got))
 		}
-		s.fetchResponse(100)
+		s.fetchResponse(100, "")
 	}
 	if n := s.rebuilds.Load(); n != 1 {
 		t.Fatalf("unchanged AS rebuilt %d times across repeated reads, want 1", n)

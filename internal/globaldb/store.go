@@ -19,8 +19,13 @@ type store interface {
 	// blockedForAS returns the aggregated entries for an AS, sorted by URL.
 	blockedForAS(asn int) []Entry
 	// fetchResponse returns the marshaled FetchResponse body for an AS — the
-	// exact bytes /v1/blocked serves.
-	fetchResponse(asn int) []byte
+	// exact bytes /v1/blocked serves — plus a validator tag for conditional
+	// fetches. When the caller's If-None-Match tag (inm) still names the
+	// current aggregation, notModified is true and body is nil: at fleet
+	// scale most sync rounds hit a converged list, and skipping the body
+	// skips the client-side JSON decode that otherwise dominates sync cost.
+	// Stores without cheap versioning return tag "" (never notModified).
+	fetchResponse(asn int, inm string) (body []byte, tag string, notModified bool)
 	// revoke invalidates a uuid's vote (§5).
 	revoke(uuid string)
 	// stats aggregates the Table-7 numbers.

@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"bufio"
 	"context"
 	"time"
 
@@ -57,7 +56,10 @@ func (c *Client) Do(ctx context.Context, address string, req *Request) (*Respons
 	if err := WriteRequest(conn, req); err != nil {
 		return nil, err
 	}
-	return ReadResponse(bufio.NewReader(conn))
+	br := GetReader(conn)
+	resp, err := ReadResponse(br)
+	PutReader(br)
+	return resp, err
 }
 
 // Get fetches host+target from address.

@@ -1,0 +1,32 @@
+package httpx
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// readerPool recycles parse buffers. The simulation opens one connection per
+// HTTP exchange (Connection: close semantics keep censor stream state per
+// request), so the 4 KiB bufio.Reader behind every parse is among the
+// largest allocations on the serve path; recycling it is a measurable GC
+// win at fleet scale. ReadRequest/ReadResponse copy everything they return,
+// so a released reader never aliases parsed data.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4096) },
+}
+
+// GetReader returns a pooled bufio.Reader reading from r.
+func GetReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// PutReader returns br to the pool. Release only a reader this goroutine is
+// the sole referent of — never one handed to a splice or copy goroutine —
+// and do not touch it afterwards.
+func PutReader(br *bufio.Reader) {
+	br.Reset(nil)
+	readerPool.Put(br)
+}

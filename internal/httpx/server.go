@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"bufio"
 	"net"
 	"strings"
 	"sync"
@@ -54,7 +53,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	if fc, ok := conn.(interface{ Flow() netem.Flow }); ok {
 		flow = fc.Flow()
 	}
-	br := bufio.NewReader(conn)
+	br := GetReader(conn)
+	defer PutReader(br)
 	for {
 		req, err := ReadRequest(br)
 		if err != nil {

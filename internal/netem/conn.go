@@ -45,6 +45,13 @@ type segment struct {
 // pipe is one direction of an emulated connection: a FIFO of segments with
 // propagation latency, serialization (bandwidth) delay, optional loss-induced
 // retransmission delay, and a byte cap providing backpressure.
+//
+// Deadlines live in the clock's execution domain: real instants under a
+// real-scaled clock (converted by Conn from the virtual timestamps callers
+// set), virtual instants under a discrete-event clock (where Real() is 0,
+// so segments deliver the moment they are written and only the deadlines
+// still need a time domain). Event-mode deadline expiry is driven by an
+// armed clock event that broadcasts the cond when virtual time crosses it.
 type pipe struct {
 	net   *Network
 	clock *vtime.Clock
@@ -58,8 +65,10 @@ type pipe struct {
 	lastDue time.Time // real due time of last queued segment
 	closed  bool      // EOF once drained
 	reset   bool      // error immediately
-	rdl     time.Time // real read deadline (zero = none)
-	wdl     time.Time // real write deadline
+	rdl     time.Time // read deadline (zero = none); see domain note above
+	wdl     time.Time // write deadline
+	rdlWake func() bool // stops the armed event-mode expiry broadcast
+	wdlWake func() bool
 }
 
 const defaultPipeCap = 1 << 18 // 256 KiB in flight
@@ -72,7 +81,8 @@ func newPipe(n *Network, lat time.Duration) *pipe {
 
 // waitUntil blocks on the pipe's cond until shortly before the real instant
 // t (or a state change); callers re-check and spin the precise tail. Caller
-// must hold p.mu.
+// must hold p.mu. Real-scaled mode only: event-mode waits use bare
+// cond.Wait, woken by writers or the armed deadline broadcast.
 func (p *pipe) waitUntil(t time.Time) {
 	d := time.Until(t) - vtime.CoarseSleep
 	if d < 0 {
@@ -81,6 +91,18 @@ func (p *pipe) waitUntil(t time.Time) {
 	stop := time.AfterFunc(d, p.cond.Broadcast)
 	p.cond.Wait()
 	stop.Stop()
+}
+
+// expired reports whether the deadline dl (zero = never) has passed in the
+// clock's execution domain. Caller must hold p.mu.
+func (p *pipe) expired(dl time.Time) bool {
+	if dl.IsZero() {
+		return false
+	}
+	if p.clock.EventDriven() {
+		return !p.clock.Now().Before(dl)
+	}
+	return !time.Now().Before(dl)
 }
 
 func (p *pipe) write(b []byte) (int, error) {
@@ -93,13 +115,13 @@ func (p *pipe) write(b []byte) (int, error) {
 		if p.closed {
 			return 0, ErrClosed
 		}
-		if !p.wdl.IsZero() && !time.Now().Before(p.wdl) {
+		if p.expired(p.wdl) {
 			return 0, ErrTimeout
 		}
 		if p.unread < p.cap {
 			break
 		}
-		if p.wdl.IsZero() {
+		if p.wdl.IsZero() || p.clock.EventDriven() {
 			p.cond.Wait()
 		} else {
 			p.waitUntil(p.wdl)
@@ -135,12 +157,15 @@ func (p *pipe) read(b []byte) (int, error) {
 		if p.reset {
 			return 0, ErrReset
 		}
-		if !p.rdl.IsZero() && !time.Now().Before(p.rdl) {
+		if p.expired(p.rdl) {
 			return 0, ErrTimeout
 		}
 		if len(p.segs) > 0 {
 			s := &p.segs[0]
 			now := time.Now()
+			// Under a discrete-event clock Real() is 0, so due never lands
+			// in the future and this in-flight branch is unreachable: data
+			// is deliverable the moment it is written.
 			if now.Before(s.due) {
 				// Data in flight: wait for delivery or deadline. Near-due
 				// segments are spin-waited for sub-millisecond delivery
@@ -171,7 +196,7 @@ func (p *pipe) read(b []byte) (int, error) {
 		if p.closed {
 			return 0, io.EOF
 		}
-		if p.rdl.IsZero() {
+		if p.rdl.IsZero() || p.clock.EventDriven() {
 			p.cond.Wait()
 		} else {
 			p.waitUntil(p.rdl)
@@ -183,6 +208,7 @@ func (p *pipe) read(b []byte) (int, error) {
 func (p *pipe) close() {
 	p.mu.Lock()
 	p.closed = true
+	p.stopWakesLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -193,13 +219,53 @@ func (p *pipe) doReset() {
 	p.reset = true
 	p.segs = nil
 	p.unread = 0
+	p.stopWakesLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// lockedBroadcast is the event-mode deadline wake. It must take p.mu: a
+// bare Broadcast can land between a waiter's deadline check and its
+// cond.Wait (the check runs under p.mu, but the wake goroutine does not
+// contend for it) and be lost, parking the waiter forever on a clock that
+// may never advance again. Holding the lock serializes the wake against the
+// check-then-wait window: either the waiter is already parked (Broadcast
+// wakes it, and the scheduler advanced time before running this handler, so
+// the re-check sees the expired deadline) or it has yet to check (and sees
+// the expired deadline directly).
+func (p *pipe) lockedBroadcast() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// stopWakesLocked disarms any event-mode deadline broadcasts so a closed
+// conn's far-future deadlines don't linger in the scheduler's heap.
+func (p *pipe) stopWakesLocked() {
+	if p.rdlWake != nil {
+		p.rdlWake()
+		p.rdlWake = nil
+	}
+	if p.wdlWake != nil {
+		p.wdlWake()
+		p.wdlWake = nil
+	}
 }
 
 func (p *pipe) setReadDeadline(t time.Time) {
 	p.mu.Lock()
 	p.rdl = t
+	if p.rdlWake != nil {
+		p.rdlWake()
+		p.rdlWake = nil
+	}
+	// Event mode: a blocked reader has no real timer to wake it, so arm a
+	// broadcast for the moment virtual time crosses the deadline.
+	if !t.IsZero() && p.clock.EventDriven() && !p.closed && !p.reset {
+		if d := t.Sub(p.clock.Now()); d > 0 {
+			p.rdlWake = p.clock.AfterFunc(d, p.lockedBroadcast)
+		}
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -207,6 +273,15 @@ func (p *pipe) setReadDeadline(t time.Time) {
 func (p *pipe) setWriteDeadline(t time.Time) {
 	p.mu.Lock()
 	p.wdl = t
+	if p.wdlWake != nil {
+		p.wdlWake()
+		p.wdlWake = nil
+	}
+	if !t.IsZero() && p.clock.EventDriven() && !p.closed && !p.reset {
+		if d := t.Sub(p.clock.Now()); d > 0 {
+			p.wdlWake = p.clock.AfterFunc(d, p.lockedBroadcast)
+		}
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }

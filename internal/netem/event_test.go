@@ -1,0 +1,97 @@
+package netem
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"csaw/internal/vtime"
+)
+
+// eventWorld is testWorld on the discrete-event clock.
+func eventWorld(t *testing.T) (*Network, *Host, *Host) {
+	t.Helper()
+	clock := vtime.NewEventDriven()
+	n := New(clock, WithSeed(42), WithJitter(0))
+	as := n.AddAS(100, "ISP-A", "PK")
+	client := n.MustAddHost("client", "10.0.0.1", "pk", as)
+	asUS := n.AddAS(200, "Transit-US", "US")
+	server := n.MustAddHost("server", "93.184.216.34", "us", asUS)
+	n.SetRTT("pk", "us", 200*time.Millisecond)
+	return n, client, server
+}
+
+// TestEventModeEcho: the transport works under the discrete-event clock —
+// latency sleeps advance virtual time instead of burning wall time.
+func TestEventModeEcho(t *testing.T) {
+	n, client, server := eventWorld(t)
+	l := server.MustListen(80)
+	defer l.Close()
+	echoOnce(t, l)
+
+	start := n.Clock().Now()
+	conn, err := client.DialTimeout("93.184.216.34:80", 5*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	msg := []byte("hello, event-driven world")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+	// The exchange covered at least one round trip of virtual latency.
+	if el := n.Clock().Since(start); el < 200*time.Millisecond {
+		t.Fatalf("virtual elapsed %v, want >= one RTT (200ms)", el)
+	}
+}
+
+// TestEventModeReadDeadline: a read deadline in event mode is a virtual
+// instant; advancing the clock past it must wake the blocked reader with a
+// timeout, with no wall-clock involvement.
+func TestEventModeReadDeadline(t *testing.T) {
+	n, client, server := eventWorld(t)
+	l := server.MustListen(80)
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Never respond; hold the conn open.
+		buf := make([]byte, 1)
+		_, _ = c.Read(buf)
+		select {}
+	}()
+	conn, err := client.DialTimeout("93.184.216.34:80", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(n.Clock().Now().Add(time.Second))
+
+	errCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		errCh <- err
+	}()
+	// Advance past the deadline. Whether the reader is already parked (the
+	// armed wake broadcasts it) or not yet (it sees the expired deadline on
+	// entry), it must observe the timeout.
+	n.Clock().Advance(2 * time.Second)
+	select {
+	case err := <-errCh:
+		if !IsTimeout(err) {
+			t.Fatalf("read past virtual deadline = %v, want timeout", err)
+		}
+	case <-time.After(10 * time.Second): //lint:allow-realtime test watchdog
+		t.Fatal("blocked read never observed the advanced-past deadline")
+	}
+}

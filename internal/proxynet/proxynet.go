@@ -191,10 +191,10 @@ func Via(base netem.DialFunc, clock *vtime.Clock, proxyAddr string) netem.DialFu
 			return nil, err
 		}
 		if dl, ok := ctx.Deadline(); ok {
-			// Context deadlines are wall-clock; convert the remaining real
-			// budget into the virtual frame before arming the conn deadline.
-			//lint:allow-realtime ctx deadlines are real time; converting to virtual
-			_ = conn.SetDeadline(clock.Now().Add(clock.Virtual(time.Until(dl))))
+			// Map the context deadline into the virtual frame before arming
+			// the conn deadline: wall-clock re-inflated under a real-scaled
+			// clock, already virtual under a discrete-event one.
+			_ = conn.SetDeadline(clock.VirtualDeadline(dl))
 		}
 		if _, err := fmt.Fprintf(conn, "CONNECT %s\n", address); err != nil {
 			conn.Close()

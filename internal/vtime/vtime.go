@@ -5,9 +5,25 @@
 // blackholing censor is 21s in the paper). Running those against the wall
 // clock would make the test suite and benchmark harness unusably slow, so
 // every substrate takes a *Clock and expresses durations in virtual time.
-// A Clock with scale S executes a virtual duration d as a real sleep of d/S
-// and reports elapsed time re-inflated by S. With scale 1 the clock is the
-// wall clock.
+//
+// A Clock runs in one of two modes, chosen at construction:
+//
+//   - Real-scaled (New, NewAt, Wall): a Clock with scale S executes a
+//     virtual duration d as a real sleep of d/S and reports elapsed time
+//     re-inflated by S. With scale 1 the clock is the wall clock. Real
+//     concurrency and real timers underneath; virtual latencies stay
+//     proportional to wall time, which is what race/soak tests and live
+//     deployments need.
+//
+//   - Discrete-event (NewEventDriven): virtual time is an explicit offset
+//     that jumps instead of elapsing. Sleep advances the offset directly;
+//     After/AfterFunc/NewTicker/WithTimeout register events with a
+//     Scheduler and fire only when some sleeper advances time across them.
+//     Nothing waits on the wall clock, so a population-scale run executes
+//     at pure compute speed. See Scheduler for the timer semantics and
+//     their liveness caveat.
+//
+// Every substrate takes a *Clock and works unchanged in both modes.
 //
 // Virtual timestamps use an arbitrary fixed epoch so that experiment output
 // (e.g. the §7.5 blocking timeline) is reproducible across runs.
@@ -56,17 +72,18 @@ var DefaultEpoch = time.Date(2017, time.November, 25, 0, 0, 0, 0, time.UTC)
 type Clock struct {
 	scale float64
 	epoch time.Time
+	sched *Scheduler // non-nil = discrete-event mode
 
 	mu   sync.Mutex
-	base time.Time // real instant corresponding to epoch
+	base time.Time // real instant corresponding to epoch (real-scaled mode)
 }
 
-// New returns a Clock running at the given scale (virtual seconds per real
-// second) starting at DefaultEpoch. Scale values below 1e-9 panic: a zero or
-// negative scale would stop or reverse time.
+// New returns a real-scaled Clock running at the given scale (virtual
+// seconds per real second) starting at DefaultEpoch. Scale values below
+// 1e-9 panic: a zero or negative scale would stop or reverse time.
 func New(scale float64) *Clock { return NewAt(DefaultEpoch, scale) }
 
-// NewAt returns a Clock with the given virtual epoch and scale.
+// NewAt returns a real-scaled Clock with the given virtual epoch and scale.
 func NewAt(epoch time.Time, scale float64) *Clock {
 	if scale < 1e-9 {
 		panic("vtime: non-positive clock scale")
@@ -81,16 +98,58 @@ func Wall() *Clock {
 	return &Clock{scale: 1, epoch: now, base: now}
 }
 
-// Scale reports the clock's virtual-seconds-per-real-second factor.
+// NewEventDriven returns a discrete-event Clock starting at DefaultEpoch:
+// virtual time stands still until a Sleep or Advance moves it, and timers
+// fire as the motion crosses them (see Scheduler).
+func NewEventDriven() *Clock { return NewEventDrivenAt(DefaultEpoch) }
+
+// NewEventDrivenAt is NewEventDriven with a chosen epoch.
+func NewEventDrivenAt(epoch time.Time) *Clock {
+	return &Clock{epoch: epoch, sched: &Scheduler{}}
+}
+
+// EventDriven reports whether the clock is in discrete-event mode.
+func (c *Clock) EventDriven() bool { return c.sched != nil }
+
+// PendingTimers returns the number of armed timer events in discrete-event
+// mode (0 in real-scaled mode) — a leak gauge for tests.
+func (c *Clock) PendingTimers() int {
+	if c.sched == nil {
+		return 0
+	}
+	return c.sched.Pending()
+}
+
+// JumpNext advances a discrete-event clock to its earliest pending timer,
+// firing it, and reports whether there was one. Real-scaled clocks report
+// false.
+func (c *Clock) JumpNext() bool {
+	if c.sched == nil {
+		return false
+	}
+	return c.sched.jumpNext()
+}
+
+// Scale reports the clock's virtual-seconds-per-real-second factor, or 0
+// in discrete-event mode (virtual time is not proportional to real time).
 func (c *Clock) Scale() float64 { return c.scale }
 
-// Advance jumps the virtual clock forward by d without sleeping. It is
-// meant for quiescent moments between experiment phases (no in-flight
-// transfers or armed timers that should fire "during" the jump): sleepers
-// armed before the jump still wake after their full real delay, i.e. later
-// in virtual time.
+// Advance jumps the virtual clock forward by d without sleeping.
+//
+// In discrete-event mode it is the canonical way to move time from outside
+// a sleeper: armed timers whose offsets are crossed fire during the jump
+// (it is equivalent to Sleep, which never blocks in this mode anyway).
+//
+// In real-scaled mode it is meant for quiescent moments between experiment
+// phases (no in-flight transfers or armed timers that should fire "during"
+// the jump): sleepers armed before the jump still wake after their full
+// real delay, i.e. later in virtual time.
 func (c *Clock) Advance(d time.Duration) {
 	if d <= 0 {
+		return
+	}
+	if c.sched != nil {
+		c.sched.advanceBy(d)
 		return
 	}
 	c.mu.Lock()
@@ -100,6 +159,9 @@ func (c *Clock) Advance(d time.Duration) {
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Time {
+	if c.sched != nil {
+		return c.epoch.Add(c.sched.Offset())
+	}
 	c.mu.Lock()
 	base := c.base
 	c.mu.Unlock()
@@ -110,24 +172,39 @@ func (c *Clock) Now() time.Time {
 func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 
 // Real converts a virtual duration to the real duration to execute it.
+// A positive virtual duration never converts below 1ns in real-scaled
+// mode: rounding to zero would make armed timers (time.NewTicker panics on
+// 0) and real sleeps treat "a little time" as "no time". In discrete-event
+// mode nothing takes real time, so Real is always 0.
 func (c *Clock) Real(d time.Duration) time.Duration {
-	if d <= 0 {
+	if d <= 0 || c.sched != nil {
 		return 0
 	}
-	return time.Duration(float64(d) / c.scale)
+	r := time.Duration(float64(d) / c.scale)
+	if r < 1 {
+		r = 1
+	}
+	return r
 }
 
-// Virtual converts a real elapsed duration to virtual time.
+// Virtual converts a real elapsed duration to virtual time. In
+// discrete-event mode real elapsed time has no virtual meaning and the
+// result is 0.
 func (c *Clock) Virtual(d time.Duration) time.Duration {
-	if d <= 0 {
+	if d <= 0 || c.sched != nil {
 		return 0
 	}
 	return time.Duration(float64(d) * c.scale)
 }
 
-// Sleep blocks for the virtual duration d, precisely.
+// Sleep blocks for the virtual duration d, precisely. In discrete-event
+// mode it advances virtual time instead of blocking.
 func (c *Clock) Sleep(d time.Duration) {
 	if d <= 0 {
+		return
+	}
+	if c.sched != nil {
+		c.sched.advanceBy(d)
 		return
 	}
 	SleepRealPrecise(c.Real(d))
@@ -135,7 +212,36 @@ func (c *Clock) Sleep(d time.Duration) {
 
 // SleepCtx blocks for the virtual duration d or until ctx is done, returning
 // ctx.Err() in the latter case. The tail of the wait spins for precision.
+//
+// In discrete-event mode the sleep advances virtual time; if ctx carries a
+// deadline that lands inside the sleep (a virtual deadline from
+// WithTimeout), time advances only up to it so the caller observes the
+// interruption at the right virtual instant.
 func (c *Clock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if c.sched != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d <= 0 {
+			return nil
+		}
+		wait := d
+		if dl, ok := ctx.Deadline(); ok {
+			if remain := dl.Sub(c.Now()); remain < wait {
+				wait = max(remain, 0)
+			}
+		}
+		c.sched.advanceBy(wait)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if wait < d {
+			// The deadline was foreign (not this clock's): finish the sleep.
+			c.sched.advanceBy(d - wait)
+			return ctx.Err()
+		}
+		return nil
+	}
 	if d <= 0 {
 		return ctx.Err()
 	}
@@ -164,6 +270,10 @@ func (c *Clock) SleepCtx(ctx context.Context, d time.Duration) error {
 // duration d.
 func (c *Clock) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
+	if c.sched != nil {
+		c.sched.schedule(d, func(at time.Duration) { ch <- c.epoch.Add(at) })
+		return ch
+	}
 	time.AfterFunc(c.Real(d), func() { ch <- c.Now() })
 	return ch
 }
@@ -171,37 +281,125 @@ func (c *Clock) After(d time.Duration) <-chan time.Time {
 // AfterFunc runs f on its own goroutine after virtual duration d and returns
 // a stop function. Stop reports whether it prevented f from running.
 func (c *Clock) AfterFunc(d time.Duration, f func()) (stop func() bool) {
+	if c.sched != nil {
+		ev := c.sched.schedule(d, func(time.Duration) { go f() })
+		return func() bool { return c.sched.stop(ev) }
+	}
 	t := time.AfterFunc(c.Real(d), f)
 	return t.Stop
 }
 
-// WithTimeout returns a context that is cancelled after the virtual duration d.
+// WithTimeout returns a context that is cancelled after the virtual duration
+// d. In discrete-event mode the context's Deadline is the *virtual* expiry
+// instant and Err turns context.DeadlineExceeded when virtual time crosses
+// it, so timeout classification works identically in both modes.
 func (c *Clock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
-	return context.WithTimeout(ctx, c.Real(d))
+	if c.sched == nil {
+		return context.WithTimeout(ctx, c.Real(d))
+	}
+	ec := &eventCtx{Context: ctx, clock: c, dl: c.Now().Add(d), done: make(chan struct{})}
+	cancel := func() { ec.cancel(context.Canceled) }
+	if err := ctx.Err(); err != nil {
+		ec.cancel(err)
+		return ec, cancel
+	}
+	if d <= 0 {
+		ec.cancel(context.DeadlineExceeded)
+		return ec, cancel
+	}
+	// Arm under ec.mu: any cancel path (deadline event, parent watch, the
+	// returned cancel func) must take the lock first, so it always sees —
+	// and releases — both registrations.
+	ec.mu.Lock()
+	ec.ev = c.sched.schedule(d, func(time.Duration) { ec.cancel(context.DeadlineExceeded) })
+	ec.unwatch = context.AfterFunc(ctx, func() { ec.cancel(ctx.Err()) })
+	ec.mu.Unlock()
+	return ec, cancel
 }
 
 // Deadline converts a virtual deadline to the corresponding real deadline,
-// suitable for net.Conn.SetDeadline on real-time transports.
+// suitable for net.Conn.SetDeadline on real-time transports. In
+// discrete-event mode there is no real-time equivalent and the instant is
+// returned unchanged: deadline-aware substrates (internal/netem) detect the
+// mode and compare against Clock.Now directly.
 func (c *Clock) Deadline(virtual time.Time) time.Time {
+	if c.sched != nil {
+		return virtual
+	}
 	c.mu.Lock()
 	base := c.base
 	c.mu.Unlock()
 	return base.Add(c.Real(virtual.Sub(c.epoch)))
 }
 
+// VirtualDeadline maps a context deadline (as returned by ctx.Deadline())
+// to the virtual instant it represents: in real-scaled mode context
+// deadlines are wall-clock, so the remaining real budget is re-inflated
+// from now; in discrete-event mode they already are virtual instants.
+func (c *Clock) VirtualDeadline(dl time.Time) time.Time {
+	if c.sched != nil {
+		return dl
+	}
+	return c.Now().Add(c.Virtual(time.Until(dl)))
+}
+
 // Ticker delivers ticks every virtual duration d.
 type Ticker struct {
 	C    <-chan time.Time
-	t    *time.Ticker
+	t    *time.Ticker // real-scaled mode
 	done chan struct{}
 	once sync.Once
+
+	sched *Scheduler // discrete-event mode
+	evMu  sync.Mutex
+	ev    *schedEvent
 }
 
 // NewTicker returns a Ticker firing every virtual duration d. d must be
-// positive.
+// positive. Like time.Ticker, a slow receiver drops ticks; in
+// discrete-event mode a jump across several periods coalesces to the ticks
+// the receiver can take.
 func (c *Clock) NewTicker(d time.Duration) *Ticker {
-	rt := time.NewTicker(c.Real(max(d, 1)))
+	d = max(d, 1)
 	ch := make(chan time.Time, 1)
+	if c.sched != nil {
+		tk := &Ticker{C: ch, done: make(chan struct{}), sched: c.sched}
+		var fire func(at time.Duration)
+		fire = func(at time.Duration) {
+			select {
+			case <-tk.done:
+				return
+			default:
+			}
+			select {
+			case ch <- c.epoch.Add(at):
+			default:
+			}
+			// Re-arm on the period grid, skipping periods a long jump
+			// already crossed (a real ticker drops those ticks too).
+			next := at + d
+			if now := c.sched.Offset(); next <= now {
+				next = at + ((now-at)/d+1)*d
+			}
+			tk.evMu.Lock()
+			tk.ev = c.sched.scheduleAt(next, fire)
+			stopped := false
+			select {
+			case <-tk.done:
+				stopped = true
+			default:
+			}
+			tk.evMu.Unlock()
+			if stopped {
+				tk.sched.stop(tk.ev)
+			}
+		}
+		tk.evMu.Lock()
+		tk.ev = c.sched.schedule(d, fire)
+		tk.evMu.Unlock()
+		return tk
+	}
+	rt := time.NewTicker(c.Real(d))
 	tk := &Ticker{C: ch, t: rt, done: make(chan struct{})}
 	go func() {
 		for {
@@ -222,7 +420,17 @@ func (c *Clock) NewTicker(d time.Duration) *Ticker {
 // Stop turns off the ticker.
 func (t *Ticker) Stop() {
 	t.once.Do(func() {
-		t.t.Stop()
+		if t.t != nil {
+			t.t.Stop()
+		}
 		close(t.done)
+		if t.sched != nil {
+			t.evMu.Lock()
+			ev := t.ev
+			t.evMu.Unlock()
+			if ev != nil {
+				t.sched.stop(ev)
+			}
+		}
 	})
 }

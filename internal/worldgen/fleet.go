@@ -22,6 +22,25 @@ import (
 // by timing out, so the slack costs nothing.
 const FleetSlack = time.Hour
 
+// EventFleetSlack replaces FleetSlack under the discrete-event clock. In
+// that mode virtual time is shared and every concurrent worker's sleep
+// advances it, so an op's deadline must outlast not its own latency but the
+// total virtual distance the whole fleet covers while the op is in flight —
+// potentially the rest of the run. A 100k-client run advances a few
+// thousand virtual hours; this bound exceeds that by orders of magnitude
+// while staying far from time.Duration overflow. The same affirmative-
+// signal argument as FleetSlack makes the slack free: no fleet verdict
+// comes from a timeout.
+const EventFleetSlack = 200_000 * time.Hour
+
+// fleetSlack is the deadline headroom for the world's clock mode.
+func (w *World) fleetSlack() time.Duration {
+	if w.Clock.EventDriven() {
+		return EventFleetSlack
+	}
+	return FleetSlack
+}
+
 // Fleet scenario: the population-scale world behind internal/fleet and
 // cmd/csaw-fleet. It differs from the evaluation scenarios in two ways that
 // only matter at O(10k) clients:
@@ -140,7 +159,7 @@ func (w *World) BuildFleetScenario(nSites, nISPs int, blockedFrac float64) (*Fle
 		isp.Censor.SetPolicy(p)
 		sc.ISPs = append(sc.ISPs, isp)
 	}
-	w.RelaxProxyTimeouts(FleetSlack)
+	w.RelaxProxyTimeouts(w.fleetSlack())
 	return sc, nil
 }
 
@@ -152,7 +171,7 @@ func (w *World) BuildFleetScenario(nSites, nISPs int, blockedFrac float64) (*Fle
 // measures the crowdsourcing plane, not exotic transports.
 func (w *World) LightApproaches(host *netem.Host) []*core.Approach {
 	gdns := &dnsx.Client{Dial: host.Dial, Clock: w.Clock,
-		Servers: []string{w.PublicDNSAddr}, AttemptTimeout: FleetSlack}
+		Servers: []string{w.PublicDNSAddr}, AttemptTimeout: w.fleetSlack()}
 	apps := []*core.Approach{
 		core.PublicDNSFix(host, w.Clock, gdns),
 		core.NewFrontingFix(host, w.Clock, FrontHost, FrontIP, w.Frontable),
@@ -161,7 +180,7 @@ func (w *World) LightApproaches(host *netem.Host) []*core.Approach {
 		apps = append(apps, core.StaticProxyApproach("proxy-Netherlands", host, w.Clock, addr))
 	}
 	for _, a := range apps {
-		a.Transport.Timeout = FleetSlack
+		a.Transport.Timeout = w.fleetSlack()
 	}
 	return apps
 }
@@ -177,7 +196,7 @@ func (w *World) LightClientConfig(host *netem.Host, seed int64) core.Config {
 		Clock:      w.Clock,
 		ReportDial: host.Dial,
 		FetchDial:  host.Dial,
-		Timeout:    FleetSlack,
+		Timeout:    w.fleetSlack(),
 	}
 	return core.Config{
 		Host:         host,

@@ -67,8 +67,14 @@ type ISP struct {
 
 // Options configures world construction.
 type Options struct {
-	// Scale is the virtual clock scale (default 300).
+	// Scale is the virtual clock scale (default 300). Ignored when
+	// EventDriven is set.
 	Scale float64
+	// EventDriven selects the discrete-event clock (vtime.NewEventDriven):
+	// virtual time jumps between events instead of elapsing as scaled real
+	// time, so a run executes at pure compute speed. Population-scale fleet
+	// runs use this mode.
+	EventDriven bool
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// Bandwidth is per-connection bytes/sec (default 512 KiB/s — a
@@ -118,6 +124,9 @@ func New(o Options) (*World, error) {
 		o.Bandwidth = 512 << 10
 	}
 	clock := vtime.New(o.Scale)
+	if o.EventDriven {
+		clock = vtime.NewEventDriven()
+	}
 	n := netem.New(clock,
 		netem.WithSeed(o.Seed),
 		netem.WithBandwidth(o.Bandwidth),
