@@ -39,7 +39,7 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/csaw-lint ./...
+	$(GO) run ./cmd/csaw-lint -json LINT.json ./...
 
 race:
 	$(GO) test -race ./...

@@ -65,7 +65,7 @@ func TestConcurrentClientUse(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for r := 0; r < rounds; r++ {
-				_ = c.SyncNow(ctx)
+				_ = c.SyncNow(ctx) //lint:allow-droperr contention stress; overlapping syncs legitimately fail
 			}
 		}()
 	}
@@ -80,7 +80,7 @@ func TestConcurrentClientUse(t *testing.T) {
 				_ = c.SyncStats()
 				_ = c.Degraded()
 				_ = c.Multihomed()
-				time.Sleep(time.Millisecond)
+				time.Sleep(time.Millisecond) //lint:allow-realtime real-time stagger to vary interleavings under -race
 			}
 		}()
 	}

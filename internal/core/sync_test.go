@@ -244,13 +244,13 @@ func TestSyncBackgroundRetryRecovers(t *testing.T) {
 	w.GlobalDB.Faults().SetPathFilter("asn=")
 	w.GlobalDB.Faults().FailNext(1)
 
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(10 * time.Second) //lint:allow-realtime polling a background goroutine's progress needs wall time
 	for time.Now().Before(deadline) {
 		st := c.SyncStats()
 		if st.Retries >= 1 && st.OK >= 2 && !st.Degraded && st.ConsecutiveFailures == 0 {
 			return
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(20 * time.Millisecond) //lint:allow-realtime see above
 	}
 	t.Fatalf("background retry never recovered: %+v", c.SyncStats())
 }

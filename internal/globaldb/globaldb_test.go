@@ -211,7 +211,10 @@ func TestReportIdempotentPerURL(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	entries, _ := c.FetchBlocked(context.Background(), 100)
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(entries) != 1 || entries[0].Reporters != 1 || math.Abs(entries[0].Votes-1.0) > 1e-9 {
 		t.Fatalf("entries = %+v, want single full-vote entry", entries)
 	}
@@ -222,14 +225,18 @@ func TestStatsSnapshot(t *testing.T) {
 	u1, u2 := mk("u1", "10.0.0.1"), mk("u2", "10.0.0.2")
 	register(t, u1)
 	register(t, u2)
-	u1.Report(context.Background(), []localdb.Record{
+	if _, err := u1.Report(context.Background(), []localdb.Record{
 		blockedRec("a.example/page1", 100, localdb.BlockDNS, "nxdomain"),
 		blockedRec("a.example/page2", 100, localdb.BlockDNS, "nxdomain"),
 		blockedRec("b.example/", 200, localdb.BlockHTTP, "blockpage"),
-	})
-	u2.Report(context.Background(), []localdb.Record{
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u2.Report(context.Background(), []localdb.Record{
 		blockedRec("c.example/", 300, localdb.BlockTCPTimeout, "connect-timeout"),
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	st := srv.StatsSnapshot()
 	if st.Users != 2 || st.BlockedURLs != 4 || st.BlockedDomains != 3 || st.ASes != 3 {
 		t.Fatalf("stats = %+v", st)

@@ -191,6 +191,9 @@ func (s *shardedStore) ingest(uuid string, now time.Time, reports []Report) (int
 			affected = append(affected, asn)
 		}
 	}
+	// Re-aggregation is per-AS and commutative, but a deterministic order
+	// keeps snapshot-build timing (and any future tie-break) seed-stable.
+	sort.Ints(affected)
 	cs.mu.Unlock()
 
 	if accepted == 0 {
@@ -347,22 +350,36 @@ func (s *shardedStore) stats() Stats {
 	ases := make(map[int]bool)
 	types := make(map[string]bool)
 	urlType := make(map[string]string)
+	// Fold in sorted client and report order: urlType is last-write-wins
+	// per URL, so folding in map order would let the shard map's iteration
+	// order pick the winning class when reports disagree.
+	type uuidState struct {
+		uuid string
+		cs   *clientState
+	}
 	for i := range s.users {
 		sh := &s.users[i]
 		sh.mu.RLock()
-		states := make([]*clientState, 0, len(sh.m))
-		for _, cs := range sh.m {
-			states = append(states, cs)
+		states := make([]uuidState, 0, len(sh.m))
+		for uuid, cs := range sh.m {
+			states = append(states, uuidState{uuid, cs})
 		}
 		st.Users += len(sh.m)
 		sh.mu.RUnlock()
-		for _, cs := range states {
+		sort.Slice(states, func(a, b int) bool { return states[a].uuid < states[b].uuid })
+		for _, us := range states {
+			cs := us.cs
 			if cs.revoked.Load() {
 				continue
 			}
 			cs.mu.Lock()
-			for _, r := range cs.reports {
-				statsFold(r, urls, domains, ases, types, urlType)
+			keys := make([]string, 0, len(cs.reports))
+			for k := range cs.reports {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				statsFold(cs.reports[k], urls, domains, ases, types, urlType)
 			}
 			cs.mu.Unlock()
 		}

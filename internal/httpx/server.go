@@ -110,6 +110,7 @@ func (m *Mux) Handle(host, prefix string, h Handler) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	//lint:allow-sliceshare m.mu is held exclusively and the map slot is rebound below before unlock
 	entries := append(m.routes[host], muxEntry{prefix: prefix, h: h})
 	for i := len(entries) - 1; i > 0 && len(entries[i].prefix) > len(entries[i-1].prefix); i-- {
 		entries[i], entries[i-1] = entries[i-1], entries[i]

@@ -15,7 +15,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
-	"time" //lint:allow-realtime teardown polling measures the real scheduler, not simulated time
+	"time"
 )
 
 // Tolerance absorbs runtime-owned goroutines that come and go outside the

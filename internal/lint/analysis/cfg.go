@@ -1,0 +1,288 @@
+package analysis
+
+// This file is the framework's lightweight per-function control-flow
+// walk: a must-analysis over the statement tree, precise enough to answer
+// "is this obligation discharged on every path to a function exit?"
+// without building a real CFG. Analyzers that only need "is this node
+// inside a loop body?" can walk the AST directly; spanbalance-style
+// lifetime checks come here.
+//
+// The walk is a tiny abstract interpreter. The abstract state is a
+// bitmask of the obligation states reachable along the paths that arrive
+// at a program point (inactive / active / done), joined by union at merge
+// points. Branches fork the mask, loops iterate the body transfer to a
+// fixpoint (the mask only grows, so at most three rounds), and a return
+// reached with the active bit set is a violation. Unstructured control
+// flow (goto) makes the walker bail out rather than guess.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowMask is a set of obligation states reachable at a program point.
+type flowMask uint8
+
+const (
+	flowInactive flowMask = 1 << iota // acquire not executed on this path
+	flowActive                        // acquired and not yet discharged
+	flowDone                          // discharged, or ownership handed off
+)
+
+// An Obligation ties an acquire site to its discharge condition for
+// MustDischarge: from the moment Acquire executes, every path to a
+// function exit must pass a discharging (or escaping) node.
+type Obligation struct {
+	// Acquire is the statement that activates the obligation (compared by
+	// pointer identity during the walk).
+	Acquire ast.Stmt
+	// Discharges reports whether n discharges the obligation (e.g. the
+	// matching Finish/Release call). It is consulted over full statement
+	// subtrees including nested function literals, so a discharge wrapped
+	// in a deferred or spawned closure counts: registering the defer (or
+	// handing the value to a goroutine) is the last act this function is
+	// responsible for.
+	Discharges func(n ast.Node) bool
+	// Escapes optionally reports whether n transfers ownership out of the
+	// function (stored, passed along, returned, captured); an escaped
+	// obligation is the new owner's to discharge, not this function's.
+	Escapes func(n ast.Node) bool
+}
+
+// MustDischarge walks one function body and reports whether some path
+// from the Acquire statement to a function exit leaves the obligation
+// undischarged. Nested function literals are opaque to control flow
+// (their returns are not this function's exits) but transparent to the
+// discharge predicate. panic, os.Exit, runtime.Goexit and testing
+// Fatal*/Skip* calls end a path without a violation. Functions containing
+// goto are skipped entirely (returns false): the walker reasons about
+// structured control flow only.
+func MustDischarge(body *ast.BlockStmt, ob *Obligation) bool {
+	if body == nil {
+		return false
+	}
+	e := &flowEngine{ob: ob}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, isBranch := n.(*ast.BranchStmt); isBranch && b.Tok == token.GOTO {
+			e.bail = true
+		}
+		return !e.bail
+	})
+	if e.bail {
+		return false
+	}
+	out := e.list(body.List, flowInactive, nil, nil)
+	if out&flowActive != 0 {
+		e.leak = true // fell off the end of the function still active
+	}
+	return e.leak
+}
+
+// flowEngine carries the per-walk flags: leak (a violating exit was
+// reached) and bail (unsupported control flow, give up silently).
+type flowEngine struct {
+	ob   *Obligation
+	leak bool
+	bail bool
+}
+
+// list walks a statement list, threading the mask through each statement;
+// a statement that never falls through (return, break, ...) makes the
+// rest of the list unreachable.
+func (e *flowEngine) list(stmts []ast.Stmt, in flowMask, brk, cont *flowMask) flowMask {
+	for _, s := range stmts {
+		if in == 0 {
+			return 0
+		}
+		in = e.stmt(s, in, brk, cont)
+	}
+	return in
+}
+
+// stmt returns the mask of states on paths falling through s to the next
+// statement (0 = no path falls through). brk and cont collect the states
+// flowing to the innermost enclosing break/continue targets.
+func (e *flowEngine) stmt(s ast.Stmt, in flowMask, brk, cont *flowMask) flowMask {
+	if s == nil || in == 0 {
+		return in
+	}
+	if s == e.ob.Acquire {
+		return flowActive
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return e.list(s.List, in, brk, cont)
+	case *ast.IfStmt:
+		in = e.stmt(s.Init, in, brk, cont)
+		in = e.transform(s.Cond, in)
+		then := e.stmt(s.Body, in, brk, cont)
+		els := in
+		if s.Else != nil {
+			els = e.stmt(s.Else, in, brk, cont)
+		}
+		return then | els
+	case *ast.ForStmt:
+		in = e.stmt(s.Init, in, brk, cont)
+		var breaks, continues flowMask
+		cur := in
+		for {
+			cur = e.transform(s.Cond, cur)
+			out := e.stmt(s.Body, cur, &breaks, &continues)
+			out = e.stmt(s.Post, out|continues, &breaks, &continues)
+			next := cur | out
+			if next == cur {
+				break
+			}
+			cur = next
+		}
+		exits := breaks
+		if s.Cond != nil {
+			exits |= cur // the condition can fail on entry or any iteration
+		}
+		return exits
+	case *ast.RangeStmt:
+		in = e.transform(s.X, in)
+		var breaks, continues flowMask
+		cur := in
+		for {
+			out := e.stmt(s.Body, cur, &breaks, &continues)
+			next := cur | out | continues
+			if next == cur {
+				break
+			}
+			cur = next
+		}
+		return cur | breaks // zero iterations always possible
+	case *ast.SwitchStmt:
+		in = e.stmt(s.Init, in, brk, cont)
+		in = e.transform(s.Tag, in)
+		return e.clauses(s.Body, in, cont)
+	case *ast.TypeSwitchStmt:
+		in = e.stmt(s.Init, in, brk, cont)
+		return e.clauses(s.Body, in, cont)
+	case *ast.SelectStmt:
+		if len(s.Body.List) == 0 {
+			return 0 // select{} blocks forever
+		}
+		var out, breaks flowMask
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cin := e.stmt(cc.Comm, in, &breaks, cont)
+			out |= e.list(cc.Body, cin, &breaks, cont)
+		}
+		return out | breaks
+	case *ast.ReturnStmt:
+		if e.transform(s, in)&flowActive != 0 {
+			e.leak = true
+		}
+		return 0
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if brk != nil {
+				*brk |= in
+			}
+		case token.CONTINUE:
+			if cont != nil {
+				*cont |= in
+			}
+		case token.FALLTHROUGH:
+			return in // consumed by clauses
+		}
+		return 0
+	case *ast.LabeledStmt:
+		return e.stmt(s.Stmt, in, brk, cont)
+	case *ast.ExprStmt:
+		if terminalCall(s.X) {
+			return 0 // panic / Fatal / Exit: the path ends, obligation moot
+		}
+		return e.transform(s, in)
+	default:
+		// Assignments, declarations, sends, defers, go statements, ...:
+		// a single transfer over the whole subtree.
+		return e.transform(s, in)
+	}
+}
+
+// clauses walks a switch body: each clause forks from the entry mask
+// (plus any fallthrough mask from the previous clause); falling off a
+// clause exits the switch unless the clause ends in fallthrough. A
+// missing default keeps the skip-everything path alive.
+func (e *flowEngine) clauses(body *ast.BlockStmt, in flowMask, cont *flowMask) flowMask {
+	var out, breaks, ft flowMask
+	hasDefault := false
+	for _, c := range body.List {
+		cc, isCase := c.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		end := e.list(cc.Body, in|ft, &breaks, cont)
+		ft = 0
+		if n := len(cc.Body); n > 0 {
+			if b, isBranch := cc.Body[n-1].(*ast.BranchStmt); isBranch && b.Tok == token.FALLTHROUGH {
+				ft = end
+				continue
+			}
+		}
+		out |= end
+	}
+	if !hasDefault {
+		out |= in
+	}
+	return out | breaks
+}
+
+// transform applies a node's effect to the mask: executing a subtree that
+// contains a discharging (or escaping) node moves active paths to done.
+func (e *flowEngine) transform(n ast.Node, in flowMask) flowMask {
+	if n == nil || in&flowActive == 0 {
+		return in
+	}
+	if containsNode(n, e.ob.Discharges) || (e.ob.Escapes != nil && containsNode(n, e.ob.Escapes)) {
+		return (in &^ flowActive) | flowDone
+	}
+	return in
+}
+
+// containsNode reports whether pred holds for any node in the subtree,
+// including inside nested function literals.
+func containsNode(root ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if pred(n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// terminalCall recognizes calls that end the path without returning:
+// panic, os.Exit, runtime.Goexit, and the testing Fatal/Skip family.
+// Name-based on purpose — the walker has no business being fooled by a
+// local helper named Fatalf that returns, but the cost of that mistake is
+// a missed diagnostic, not a false one.
+func terminalCall(x ast.Expr) bool {
+	call, isCall := ast.Unparen(x).(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "FailNow", "Exit", "Goexit",
+			"Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// jsonDiagnostic is the machine-readable form of one Diagnostic, shaped
+// for CI annotation tooling (file/line/col split out, stable field
+// order).
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON renders diagnostics as an indented JSON array with a
+// trailing newline. Run returns diagnostics position-sorted, so the
+// encoding is byte-stable for identical findings — the lint suite's own
+// determinism is tested the same way the simulation's is.
+func EncodeJSON(diags []Diagnostic) []byte {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	// Encoding []jsonDiagnostic cannot fail; Encode appends the newline.
+	_ = enc.Encode(out)
+	return buf.Bytes()
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -34,9 +35,14 @@ type listPkg struct {
 	Export     string
 	GoFiles    []string
 	Standard   bool
+	ForTest    string
+	ImportMap  map[string]string
 	Module     *struct{ Path, Dir string }
 	Error      *struct{ Err string }
 }
+
+// listFields is the -json field list shared by every go list invocation.
+const listFields = "ImportPath,Dir,Export,GoFiles,Standard,ForTest,ImportMap,Module,Error"
 
 // Load parses and type-checks the module packages matching the go
 // patterns (e.g. "./..."), rooted at dir (""= current directory).
@@ -49,18 +55,38 @@ type listPkg struct {
 // packages alike — is loaded from export data. cgo is disabled so every
 // dependency has a pure-Go, exportable build.
 func Load(dir string, patterns ...string) ([]*Package, *Config, error) {
+	return load(dir, false, patterns)
+}
+
+// LoadTests is Load with the targets' test files included: each package
+// with in-package _test.go files is analyzed as its test variant (whose
+// file set is a strict superset of the plain build), external _test
+// packages load alongside their subjects, and the synthetic generated
+// test mains are skipped. Determinism bugs in tests corrupt golden
+// artifacts just as surely as bugs in the code under test, so the lint
+// gate runs in this mode.
+func LoadTests(dir string, patterns ...string) ([]*Package, *Config, error) {
+	return load(dir, true, patterns)
+}
+
+func load(dir string, tests bool, patterns []string) ([]*Package, *Config, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	targets, err := goList(dir, append([]string{"list", "-json=ImportPath"}, patterns...))
+	listArgs := func(extra ...string) []string {
+		args := []string{"list"}
+		if tests {
+			args = append(args, "-test")
+		}
+		args = append(args, extra...)
+		return append(args, patterns...)
+	}
+	targets, err := goList(dir, listArgs("-json=ImportPath,ForTest"))
 	if err != nil {
 		return nil, nil, err
 	}
-	want := make(map[string]bool, len(targets))
-	for _, t := range targets {
-		want[t.ImportPath] = true
-	}
-	universe, err := goList(dir, append([]string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error", "-deps"}, patterns...))
+	want := selectTargets(targets, tests)
+	universe, err := goList(dir, listArgs("-export", "-json="+listFields, "-deps"))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,7 +100,7 @@ func Load(dir string, patterns ...string) ([]*Package, *Config, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := &exportImporter{fset: fset, meta: meta, loaded: make(map[string]*types.Package)}
+	shared := &exportImporter{fset: fset, meta: meta, loaded: make(map[string]*types.Package)}
 	var pkgs []*Package
 	for _, p := range universe {
 		if !want[p.ImportPath] {
@@ -83,6 +109,14 @@ func Load(dir string, patterns ...string) ([]*Package, *Config, error) {
 		if p.Error != nil {
 			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
 		}
+		imp := types.Importer(shared)
+		if len(p.ImportMap) > 0 {
+			// Test variants resolve some imports to other variants (the
+			// package under test, with its export_test.go declarations);
+			// give them a private importer so the shared cache never hands
+			// a plain build where the variant is required.
+			imp = &exportImporter{fset: fset, meta: meta, resolve: p.ImportMap, loaded: make(map[string]*types.Package)}
+		}
 		pkg, err := typeCheck(fset, p, imp)
 		if err != nil {
 			return nil, nil, err
@@ -90,6 +124,46 @@ func Load(dir string, patterns ...string) ([]*Package, *Config, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, &Config{ModuleRoot: modRoot}, nil
+}
+
+// selectTargets picks which listed targets to analyze. Without -test that
+// is every listed package. With -test, each package is analyzed at most
+// once: the in-package test variant ("pkg [pkg.test]") supersedes the
+// plain package, external test packages ("pkg_test [pkg.test]") are kept,
+// and the generated test mains ("pkg.test") are skipped outright.
+func selectTargets(targets []*listPkg, tests bool) map[string]bool {
+	want := make(map[string]bool, len(targets))
+	if !tests {
+		for _, t := range targets {
+			want[t.ImportPath] = true
+		}
+		return want
+	}
+	superseded := make(map[string]bool)
+	for _, t := range targets {
+		if t.ForTest != "" && basePath(t.ImportPath) == t.ForTest {
+			superseded[t.ForTest] = true
+		}
+	}
+	for _, t := range targets {
+		switch {
+		case t.ForTest != "":
+			want[t.ImportPath] = true
+		case strings.HasSuffix(t.ImportPath, ".test"):
+			// Generated test main: cache-resident synthetic source.
+		case !superseded[t.ImportPath]:
+			want[t.ImportPath] = true
+		}
+	}
+	return want
+}
+
+// basePath strips go list's " [pkg.test]" variant suffix.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
 }
 
 // goList runs a go list invocation and decodes its JSON stream.
@@ -118,10 +192,30 @@ func goList(dir string, args []string) ([]*listPkg, error) {
 	return pkgs, nil
 }
 
+// LoadDir parses and type-checks the .go files directly under dir (in
+// sorted name order) as one standalone package called importPath. This is
+// the loader behind the linttest golden harness and csaw-lint's -dir
+// mode: golden packages live outside the module graph, so they load by
+// directory, not by pattern.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return ParseAndCheck(dir, importPath, files)
+}
+
 // ParseAndCheck parses the given files as one package and type-checks it
-// against export data resolved through `go list` run in dir. It backs the
-// golden-test harness, which checks testdata packages that are not part
-// of the module proper.
+// against export data resolved through `go list` run in dir.
 func ParseAndCheck(dir, importPath string, files []string) (*Package, error) {
 	fset := token.NewFileSet()
 	var asts []*ast.File
@@ -138,10 +232,12 @@ func ParseAndCheck(dir, importPath string, files []string) (*Package, error) {
 	}
 	meta := make(map[string]*listPkg)
 	if len(imports) > 0 {
-		args := []string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error", "-deps"}
+		paths := make([]string, 0, len(imports))
 		for imp := range imports {
-			args = append(args, imp)
+			paths = append(paths, imp)
 		}
+		sort.Strings(paths)
+		args := append([]string{"list", "-export", "-json=" + listFields, "-deps"}, paths...)
 		universe, err := goList(dir, args)
 		if err != nil {
 			return nil, err
@@ -164,7 +260,7 @@ func typeCheck(fset *token.FileSet, p *listPkg, imp types.Importer) (*Package, e
 		}
 		asts = append(asts, af)
 	}
-	pkg, err := typeCheckFiles(fset, p.ImportPath, p.Dir, asts, imp)
+	pkg, err := typeCheckFiles(fset, basePath(p.ImportPath), p.Dir, asts, imp)
 	if err != nil {
 		return nil, err
 	}
@@ -190,12 +286,15 @@ func typeCheckFiles(fset *token.FileSet, importPath, dir string, asts []*ast.Fil
 }
 
 // exportImporter satisfies types.Importer by reading compiler export data
-// located via `go list -export`.
+// located via `go list -export`. resolve, when set, redirects source
+// import paths to go list variant keys (test-variant ImportMap) before
+// the meta lookup.
 type exportImporter struct {
-	fset   *token.FileSet
-	meta   map[string]*listPkg
-	loaded map[string]*types.Package
-	gc     types.Importer
+	fset    *token.FileSet
+	meta    map[string]*listPkg
+	resolve map[string]string
+	loaded  map[string]*types.Package
+	gc      types.Importer
 }
 
 func (e *exportImporter) Import(path string) (*types.Package, error) {
@@ -207,6 +306,9 @@ func (e *exportImporter) Import(path string) (*types.Package, error) {
 	}
 	if e.gc == nil {
 		e.gc = importer.ForCompiler(e.fset, "gc", func(path string) (io.ReadCloser, error) {
+			if to, ok := e.resolve[path]; ok {
+				path = to
+			}
 			m, ok := e.meta[path]
 			if !ok || m.Export == "" {
 				return nil, fmt.Errorf("lint: no export data for %q", path)

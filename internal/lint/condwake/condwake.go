@@ -1,0 +1,322 @@
+// Package condwake flags sync.Cond wakeups that can be lost: a
+// Broadcast()/Signal() call made without the cond's mutex held, or a
+// Broadcast/Signal method value handed to a callback (time.AfterFunc,
+// goroutine) that will run unlocked. The race is the classic lost
+// wakeup: a waiter checks its predicate under the lock, finds it false,
+// and — between releasing the lock inside Wait and parking — an unlocked
+// Broadcast fires into the void. The waiter then parks forever even
+// though the state it waits for has changed. The netem pipe hit exactly
+// this (its deadline timer fired cond.Broadcast bare) and PR 6 fixed it
+// by routing every wakeup through a lockedBroadcast helper; this
+// analyzer keeps the fix structural.
+//
+// The analysis reuses lockedblock's region tracking: a mutex (or the
+// cond's sync.Locker field) counts as held from a Lock() statement to the
+// matching Unlock in the same list, and a deferred Unlock holds it to the
+// end of the function. A wakeup inside a function whose doc comment or
+// name says "locked" still needs the lock actually taken in scope — the
+// analyzer checks code, not comments. A wakeup that is intentionally
+// unlocked (valid when the protocol tolerates spurious loss) carries
+// //lint:allow-condwake <reason>.
+package condwake
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"csaw/internal/lint/analysis"
+)
+
+// Analyzer is the condwake analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "condwake",
+	Doc:      "flag sync.Cond Broadcast/Signal without the guarding mutex held (including method values passed as callbacks); unlocked wakeups race with Wait and get lost",
+	Suppress: "condwake",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool
+}
+
+// reportOnce deduplicates: expr's traversal and methodValues' recursion
+// can reach the same selector through nested calls.
+func (w *walker) reportOnce(pos token.Pos, format string, args ...any) {
+	if w.reported == nil {
+		w.reported = make(map[token.Pos]bool)
+	}
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+// stmts walks one statement list, tracking held locks exactly like
+// lockedblock: changes persist across the list, nested lists get a copy.
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if mu, locks, ok := w.lockCall(s.X); ok {
+			if locks {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// Deferred Unlock keeps the region locked; a deferred wakeup runs
+		// at return, when a deferred-unlock pattern still holds the lock.
+		// Check the call's arguments for bare method values either way.
+		w.methodValues(s.Call)
+	case *ast.GoStmt:
+		// The goroutine runs without this frame's locks. A wakeup method
+		// value as the go target is the AfterFunc shape verbatim.
+		w.methodValues(s.Call)
+		if cond, name, ok := w.wakeMethodValue(s.Call.Fun); ok {
+			w.reportOnce(s.Call.Pos(), "go %s.%s runs the wakeup without %s's mutex; wrap it in a method that locks first (or annotate //lint:allow-condwake <reason>)", cond, name, cond)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, clone(held))
+				}
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, clone(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, clone(held))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		w.stmts(s.Body.List, clone(held))
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, isGen := s.Decl.(*ast.GenDecl); isGen {
+			for _, spec := range gd.Specs {
+				if vs, isVal := spec.(*ast.ValueSpec); isVal {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr inspects an expression for wakeup calls and bare wakeup method
+// values. Function literals are not entered (they run later, under
+// whatever locks their eventual caller holds); method values passed as
+// arguments are caught by methodValues regardless of nesting.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		w.methodValues(call)
+		cond, name, isWake := w.wakeMethodValue(call.Fun)
+		if !isWake {
+			return true
+		}
+		if !w.condLockHeld(cond, held) {
+			w.reportOnce(call.Pos(), "%s.%s without %s's mutex held; an unlocked wakeup races with Wait and can be lost (or annotate //lint:allow-condwake <reason>)", cond, name, cond)
+		}
+		return true
+	})
+}
+
+// methodValues flags wakeup method values appearing in argument position
+// of a call — time.AfterFunc(d, p.cond.Broadcast) is the netem bug
+// verbatim: the runtime invokes the callback with no locks held. A
+// selector that is the Fun of a nested call is a call, not a value, and
+// is handled by the call check in expr.
+func (w *walker) methodValues(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		w.scanValue(arg)
+	}
+}
+
+// scanValue walks e flagging wakeup method values; call Funs are skipped
+// (call position), call arguments recursed.
+func (w *walker) scanValue(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if c, isCall := n.(*ast.CallExpr); isCall {
+			for _, a := range c.Args {
+				w.scanValue(a)
+			}
+			return false
+		}
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		if cond, name, isWake := w.wakeMethodValue(sel); isWake {
+			w.reportOnce(sel.Pos(), "%s.%s used as a callback runs without %s's mutex; pass a method that locks before waking (or annotate //lint:allow-condwake <reason>)", cond, name, cond)
+			return false
+		}
+		return true
+	})
+}
+
+// wakeMethodValue matches a selector expression E.Broadcast / E.Signal
+// where E is a *sync.Cond, returning the rendered cond expression.
+func (w *walker) wakeMethodValue(fun ast.Expr) (cond, name string, ok bool) {
+	sel, isSel := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if sel.Sel.Name != "Broadcast" && sel.Sel.Name != "Signal" {
+		return "", "", false
+	}
+	tv, has := w.pass.TypesInfo.Types[sel.X]
+	if !has || !isCond(tv.Type) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// condLockHeld reports whether any lock guarding cond is held. Without
+// flow-sensitive aliasing we accept any held mutex in scope: the common
+// shapes are `p.mu.Lock(); ...; p.cond.Broadcast()` and
+// `p.cond.L.Lock(); ...; p.cond.Signal()`, and a function that locks
+// *some* mutex around the wakeup is almost always locking the right one.
+// The analyzer's job is catching the zero-locks-held case.
+func (w *walker) condLockHeld(cond string, held map[string]bool) bool {
+	return len(held) > 0
+}
+
+// lockCall matches Lock/RLock/Unlock/RUnlock on a sync.Mutex, RWMutex, or
+// sync.Locker (covering cond.L.Lock()).
+func (w *walker) lockCall(e ast.Expr) (mu string, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var locking bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	tv, has := w.pass.TypesInfo.Types[sel.X]
+	if !has || !isLockable(tv.Type) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locking, true
+}
+
+// isLockable reports whether t (possibly behind pointers) is sync.Mutex,
+// sync.RWMutex, or the sync.Locker interface (a Cond's L field).
+func isLockable(t types.Type) bool {
+	for {
+		p, isPtr := t.(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "Locker")
+}
+
+// isCond reports whether t (possibly behind pointers) is sync.Cond.
+func isCond(t types.Type) bool {
+	for {
+		p, isPtr := t.(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Cond"
+}
+
+func clone(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,16 @@
+package condwake_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/condwake"
+	"csaw/internal/lint/linttest"
+)
+
+func TestCondwake(t *testing.T) {
+	linttest.Run(t, condwake.Analyzer, "testdata", "a", nil)
+}
+
+func TestCondwakeClean(t *testing.T) {
+	linttest.RunClean(t, condwake.Analyzer, "testdata", "clean", nil)
+}

@@ -1,0 +1,84 @@
+// Package a exercises the condwake positive and negative cases.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type pipe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// bad: wakeup with no lock held — races with a parking waiter.
+func (p *pipe) bareWake() {
+	p.n++
+	p.cond.Broadcast() // want "without p.cond's mutex held"
+}
+
+// bad: Signal is just as lost as Broadcast.
+func (p *pipe) bareSignal() {
+	p.cond.Signal() // want "without p.cond's mutex held"
+}
+
+// bad: the netem deadline-timer shape — the runtime invokes the method
+// value with no locks held.
+func (p *pipe) timerWake(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, p.cond.Broadcast) // want "used as a callback"
+}
+
+// bad: a goroutine does not inherit the caller's locks, held or not.
+func (p *pipe) goWake() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go p.cond.Broadcast() // want "runs the wakeup without p.cond's mutex"
+}
+
+// good: wakeup inside the critical section.
+func (p *pipe) lockedWake() {
+	p.mu.Lock()
+	p.n++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// good: deferred unlock holds the lock to the end of the function.
+func (p *pipe) deferredWake() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+	p.cond.Signal()
+}
+
+// good: locking through the cond's own Locker field.
+func (p *pipe) viaLocker() {
+	p.cond.L.Lock()
+	p.n++
+	p.cond.Broadcast()
+	p.cond.L.Unlock()
+}
+
+// good: the PR 6 fix — route callbacks through a method that locks.
+func (p *pipe) lockedBroadcast() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) timerWakeFixed(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, p.lockedBroadcast)
+}
+
+// good: suppressed with a reason.
+func (p *pipe) suppressedWake() {
+	//lint:allow-condwake single-waiter protocol tolerates a spurious miss
+	p.cond.Broadcast()
+}

@@ -1,0 +1,41 @@
+// Package clean is the condwake negative golden: every wakeup happens
+// under the guarding mutex, zero findings expected.
+package clean
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	ready *sync.Cond
+	items []int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.ready = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(x int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, x)
+	q.ready.Signal()
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.ready.Wait()
+	}
+	x := q.items[0]
+	q.items = q.items[1:]
+	return x
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.ready.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,201 @@
+// Package ctxloop flags retry/poll loops that ignore their context: a
+// function takes a context.Context, contains a non-range for-loop that
+// blocks each iteration (select, channel receive, or a sleep call), and
+// neither the loop condition nor its body ever consults the context. Such
+// a loop keeps retrying after cancellation — the fleet driver's
+// joinClient/retireClient loops did exactly this until PR 6 added
+// ctx.Err() checks, turning shutdown from "wait for the retry ladder to
+// run dry" into "return promptly". The analyzer makes that check
+// structural.
+//
+// Any reference to the context parameter inside the loop counts as
+// consulting it: ctx.Err(), ctx.Done() in a select, or passing ctx to a
+// callee (which is then responsible for honoring it). Loops that never
+// block are not flagged — a pure computation loop has no cancellation
+// window. A loop that deliberately runs to completion regardless of
+// cancellation (cleanup, final flush) carries
+// //lint:allow-ctxloop <reason>.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"csaw/internal/lint/analysis"
+)
+
+// Analyzer is the ctxloop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxloop",
+	Doc:      "flag blocking retry/poll loops in context-carrying functions that never consult the context; they keep retrying after cancellation",
+	Suppress: "ctxloop",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ftype, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ctxs := ctxParams(pass, ftype)
+			if len(ctxs) == 0 {
+				return true // no context to honor
+			}
+			checkBody(pass, body, ctxs)
+			// Keep walking: nested literals are checked against their own
+			// parameter lists (a literal without a ctx param that captures
+			// the outer ctx is the outer function's loop to check).
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParams collects the context.Context parameter objects of one
+// function signature.
+func ctxParams(pass *analysis.Pass, ftype *ast.FuncType) map[types.Object]bool {
+	ctxs := make(map[types.Object]bool)
+	if ftype.Params == nil {
+		return ctxs
+	}
+	for _, field := range ftype.Params.List {
+		if !isContext(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				ctxs[obj] = true
+			}
+		}
+	}
+	return ctxs
+}
+
+// isContext reports whether the type expression denotes context.Context.
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, has := pass.TypesInfo.Types[e]
+	if !has {
+		return false
+	}
+	named, isNamed := tv.Type.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkBody flags the offending loops directly inside body (not inside
+// nested function literals, which are checked against their own
+// signatures).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, ctxs map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		loop, isFor := n.(*ast.ForStmt)
+		if !isFor {
+			return true
+		}
+		if !loopBlocks(pass, loop.Body) {
+			return true // pure computation: no cancellation window
+		}
+		if usesAny(pass, loop, ctxs) {
+			return true // cond or body consults the context
+		}
+		pass.Reportf(loop.For, "loop blocks each iteration but never consults the context; check ctx.Err() or select on ctx.Done() so cancellation stops the retries (or annotate //lint:allow-ctxloop <reason>)")
+		return true
+	})
+}
+
+// blockerNames are call names treated as blocking an iteration. Matched
+// by method/function name so vtime.Sleep, clock.Sleep, and time.Sleep all
+// count without a package list.
+var blockerNames = map[string]bool{
+	"Sleep":            true,
+	"SleepCtx":         true,
+	"SleepRealPrecise": true,
+	"SpinUntil":        true,
+	"Wait":             true,
+}
+
+// loopBlocks reports whether the loop body blocks on each iteration:
+// a select statement, a channel receive, or a recognized sleep/wait
+// call. Nested loops are skipped — their blocking is their own
+// iteration's business, and the outer loop is flagged (or not) on its
+// own operations.
+func loopBlocks(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	blocks := false
+	for _, s := range body.List {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if blocks {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+				return false
+			case *ast.SelectStmt:
+				// A select with a default never blocks.
+				for _, c := range n.Body.List {
+					if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+						return false
+					}
+				}
+				blocks = true
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocks = true
+					return false
+				}
+			case *ast.CallExpr:
+				if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel && blockerNames[sel.Sel.Name] {
+					blocks = true
+					return false
+				}
+				if id, isIdent := n.Fun.(*ast.Ident); isIdent && blockerNames[id.Name] {
+					blocks = true
+					return false
+				}
+			}
+			return true
+		})
+		if blocks {
+			return true
+		}
+	}
+	return false
+}
+
+// usesAny reports whether the loop (condition, post, or body — including
+// nested function literals, since passing ctx into a closure or callee
+// delegates the honoring) references any of the context objects.
+func usesAny(pass *analysis.Pass, loop *ast.ForStmt, ctxs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && ctxs[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/ctxloop"
+	"csaw/internal/lint/linttest"
+)
+
+func TestCtxloop(t *testing.T) {
+	linttest.Run(t, ctxloop.Analyzer, "testdata", "a", nil)
+}
+
+func TestCtxloopClean(t *testing.T) {
+	linttest.RunClean(t, ctxloop.Analyzer, "testdata", "clean", nil)
+}

@@ -1,0 +1,127 @@
+// Package a exercises the ctxloop positive and negative cases.
+package a
+
+import "context"
+
+type clock interface {
+	Sleep(ms int)
+}
+
+// bad: retries forever after cancellation — never consults ctx.
+func retryDeaf(ctx context.Context, c clock, try func() error) error {
+	var err error
+	for i := 0; i < 5; i++ { // want "never consults the context"
+		if err = try(); err == nil {
+			return nil
+		}
+		c.Sleep(100)
+	}
+	return err
+}
+
+// bad: blocking receive loop without a ctx.Done case.
+func drainDeaf(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want "never consults the context"
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// good: checks ctx.Err each iteration.
+func retryChecked(ctx context.Context, c clock, try func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = try(); err == nil {
+			return nil
+		}
+		c.Sleep(100)
+	}
+	return err
+}
+
+// good: selects on ctx.Done.
+func drainChecked(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// good: passing ctx to the callee delegates the honoring, even though
+// the loop blocks between attempts.
+func retryDelegated(ctx context.Context, c clock, try func(context.Context) error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = try(ctx); err == nil {
+			return nil
+		}
+		c.Sleep(100)
+	}
+	return err
+}
+
+// good: a pure computation loop has no cancellation window.
+func sum(ctx context.Context, xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// good: no context parameter, nothing to honor.
+func retryNoCtx(c clock, try func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		c.Sleep(100)
+	}
+	return err
+}
+
+// good: a select with default does not block the iteration.
+func pollNonBlocking(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-ch:
+			total += v
+		default:
+		}
+	}
+	return total
+}
+
+// bad: a function literal with its own ctx param is checked on its own.
+func spawner(parent context.Context, c clock) func(context.Context) {
+	return func(ctx context.Context) {
+		for { // want "never consults the context"
+			c.Sleep(50)
+		}
+	}
+}
+
+// good: suppressed with a reason.
+func finalFlush(ctx context.Context, c clock, flush func() error) {
+	//lint:allow-ctxloop shutdown flush must run to completion
+	for flush() != nil {
+		c.Sleep(10)
+	}
+}

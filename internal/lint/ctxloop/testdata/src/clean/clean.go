@@ -1,0 +1,37 @@
+// Package clean is the ctxloop negative golden: every blocking loop
+// honors its context, zero findings expected.
+package clean
+
+import "context"
+
+func worker(ctx context.Context, jobs chan func()) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job, ok := <-jobs:
+			if !ok {
+				return
+			}
+			job()
+		}
+	}
+}
+
+func retry(ctx context.Context, attempt func(context.Context) error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = attempt(ctx); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func checksum(ctx context.Context, data []byte) uint32 {
+	var sum uint32
+	for _, b := range data {
+		sum = sum*31 + uint32(b)
+	}
+	return sum
+}

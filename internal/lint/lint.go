@@ -7,17 +7,30 @@
 //   - errdrop: sync-critical errors are never silently dropped
 //   - lockedblock: no channel sends or vtime sleeps under a mutex
 //   - netreal: no real network I/O — the internet is in-process
+//   - maporder: map iteration order never reaches ordered output
+//   - sliceshare: no appends into shared backing arrays
+//   - condwake: sync.Cond wakeups happen under the guarding mutex
+//   - ctxloop: blocking retry loops honor their context
+//   - spanbalance: trace spans are finished on every return path
 //
-// See DESIGN.md "Determinism: time and randomness discipline" for the
-// rationale, the documented allowlist, and the suppression directives.
+// The last five mechanize the bug classes PR 6 fixed by hand (the
+// mergeEntries aliasing leak, the netem lost wakeup, the fleet driver's
+// cancellation-deaf retry ladders, and the span-leak audit); see
+// DESIGN.md "Static analysis" for each analyzer's invariant, the
+// documented allowlist, and the suppression directives.
 package lint
 
 import (
 	"csaw/internal/lint/analysis"
+	"csaw/internal/lint/condwake"
+	"csaw/internal/lint/ctxloop"
 	"csaw/internal/lint/errdrop"
 	"csaw/internal/lint/lockedblock"
+	"csaw/internal/lint/maporder"
 	"csaw/internal/lint/netreal"
 	"csaw/internal/lint/randdet"
+	"csaw/internal/lint/sliceshare"
+	"csaw/internal/lint/spanbalance"
 	"csaw/internal/lint/vtimecheck"
 )
 
@@ -29,6 +42,11 @@ func Analyzers() []*analysis.Analyzer {
 		errdrop.Analyzer,
 		lockedblock.Analyzer,
 		netreal.Analyzer,
+		maporder.Analyzer,
+		sliceshare.Analyzer,
+		condwake.Analyzer,
+		ctxloop.Analyzer,
+		spanbalance.Analyzer,
 	}
 }
 

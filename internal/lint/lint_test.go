@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"csaw/internal/lint"
+	"csaw/internal/lint/analysis"
+	"csaw/internal/lint/linttest"
+)
+
+// TestMultichecker runs the full suite against a golden package whose
+// want comments span several analyzers, exercising cross-analyzer
+// suppression scanning and diagnostic ordering through the same pipeline
+// cmd/csaw-lint uses.
+func TestMultichecker(t *testing.T) {
+	linttest.RunAnalyzers(t, lint.Analyzers(), "testdata", "multi", nil)
+}
+
+// TestMulticheckerDeterministic loads the golden package from scratch
+// twice, runs the whole suite each time, and byte-compares both the
+// rendered text and the JSON artifact. The linter gates a determinism
+// suite; its own output must hold itself to the same standard.
+func TestMulticheckerDeterministic(t *testing.T) {
+	runOnce := func() (string, []byte) {
+		pkg, err := analysis.LoadDir("testdata/src/multi", "multi")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, lint.Analyzers(), nil)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var text bytes.Buffer
+		for _, d := range diags {
+			text.WriteString(d.String())
+			text.WriteByte('\n')
+		}
+		return text.String(), analysis.EncodeJSON(diags)
+	}
+	text1, json1 := runOnce()
+	text2, json2 := runOnce()
+	if text1 != text2 {
+		t.Errorf("rendered diagnostics differ between runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", text1, text2)
+	}
+	if !bytes.Equal(json1, json2) {
+		t.Errorf("JSON diagnostics differ between runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", json1, json2)
+	}
+	if text1 == "" {
+		t.Fatal("golden multi package produced no diagnostics; the determinism comparison is vacuous")
+	}
+}

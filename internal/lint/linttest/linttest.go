@@ -36,29 +36,21 @@ type want struct {
 // "testdata" relative to the test). cfg may be nil for no allowlist.
 func Run(t *testing.T, a *analysis.Analyzer, dir, pkg string, cfg *analysis.Config) {
 	t.Helper()
-	pkgdir := filepath.Join(dir, "src", pkg)
-	entries, err := os.ReadDir(pkgdir)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	var files []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(pkgdir, e.Name()))
-		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("linttest: no Go files in %s", pkgdir)
-	}
-	loaded, err := analysis.ParseAndCheck(pkgdir, pkg, files)
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
+	RunAnalyzers(t, []*analysis.Analyzer{a}, dir, pkg, cfg)
+}
+
+// RunAnalyzers is Run over a whole suite at once: the golden package's
+// want comments must account for every analyzer's findings together,
+// which is how the multichecker meta-test exercises cross-analyzer
+// ordering.
+func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dir, pkg string, cfg *analysis.Config) {
+	t.Helper()
+	loaded, files := loadGolden(t, dir, pkg)
 	wants, err := parseWants(files)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{a}, cfg)
+	diags, err := analysis.Run([]*analysis.Package{loaded}, as, cfg)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
@@ -72,6 +64,47 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, pkg string, cfg *analysis.Conf
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
 		}
 	}
+}
+
+// RunClean asserts the golden package produces zero diagnostics and
+// carries zero want comments — the negative-case companion to Run. A
+// want comment in a clean package is a test bug (the expectation would
+// silently never be checked against the right analyzer), so it fails
+// loudly.
+func RunClean(t *testing.T, a *analysis.Analyzer, dir, pkg string, cfg *analysis.Config) {
+	t.Helper()
+	loaded, files := loadGolden(t, dir, pkg)
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	if len(wants) > 0 {
+		t.Fatalf("linttest: clean package %s has %d want comment(s); move them to a positive golden package", pkg, len(wants))
+	}
+	diags, err := analysis.Run([]*analysis.Package{loaded}, []*analysis.Analyzer{a}, cfg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in clean package: %s", d)
+	}
+}
+
+// loadGolden loads testdata/src/<pkg> through the same LoadDir path
+// csaw-lint's -dir mode uses, and returns the loaded package plus its
+// file list (sorted, as LoadDir reads them) for want parsing.
+func loadGolden(t *testing.T, dir, pkg string) (*analysis.Package, []string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", pkg)
+	loaded, err := analysis.LoadDir(pkgdir, pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, f := range loaded.Files {
+		files = append(files, loaded.Fset.Position(f.Pos()).Filename)
+	}
+	return loaded, files
 }
 
 // match marks and reports the first unmatched expectation covering d.

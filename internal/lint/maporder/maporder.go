@@ -1,0 +1,284 @@
+// Package maporder flags map iteration whose order can leak into an
+// ordered result: ranging over a map while appending to a slice, writing
+// to a stream/hash/builder, or sending on a channel. Go randomizes map
+// iteration order per run, so any of these shapes makes a Summary line, a
+// set hash, or a serialized artifact differ between two same-seed runs —
+// the exact determinism the fleet's byte-identical-summary gate exists to
+// protect (DESIGN.md "Determinism").
+//
+// The deterministic idiom is collect-then-sort: append the keys, sort,
+// then emit. The analyzer accepts it mechanically — an append target that
+// is later passed to a sort.*/slices.Sort* call, or to a local helper
+// whose name starts with "sort", in the same function is not reported.
+// Appends assigned to a destination indexed by the loop variables
+// (m2[k] = append(m2[k], v), c[k] = append([]T(nil), vs...)) are per-key
+// and order-independent, so they pass too. Stream writes and channel
+// sends inside the loop have no after-the-fact repair and are always
+// reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"csaw/internal/lint/analysis"
+)
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration feeding ordered output (append/write/send) without a later sort; map order must never reach a summary, hash, or artifact",
+	Suppress: "maporder",
+	Run:      run,
+}
+
+// sortFuncs are the recognized order-restoring calls, per package.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// streamMethods are order-sensitive sink methods: each call appends to a
+// stream whose final content depends on call order.
+var streamMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// fmtPrinters are the fmt package's stream-appending functions.
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function body: find every range-over-map, then
+// every ordered emission inside it, then look for a downstream sort.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorts := collectSorts(pass, body)
+	reported := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, isRange := n.(*ast.RangeStmt)
+		if !isRange || !isMapRange(pass, rng) {
+			return true
+		}
+		loopVars := rangeVars(pass, rng)
+		checkLoopBody(pass, rng, loopVars, sorts, reported)
+		return true
+	})
+}
+
+// collectSorts records (expression, position) for the first argument of
+// every sort call in the body, so "append then sort" is recognized no
+// matter how the statements nest.
+func collectSorts(pass *analysis.Pass, body *ast.BlockStmt) map[string][]token.Pos {
+	sorts := make(map[string][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || len(call.Args) == 0 {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			_, path, qualified := pass.PkgFuncRef(fun)
+			if !qualified || !sortFuncs[path][fun.Sel.Name] {
+				return true
+			}
+		case *ast.Ident:
+			// A local helper named sort* (sortEntries, sortByURL, ...) is
+			// trusted to restore order in its first argument.
+			if !strings.HasPrefix(strings.ToLower(fun.Name), "sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		key := types.ExprString(call.Args[0])
+		sorts[key] = append(sorts[key], call.Pos())
+		return true
+	})
+	return sorts
+}
+
+// checkLoopBody reports the order-sensitive emissions inside one
+// range-over-map body. Nested function literals are skipped: they
+// typically run elsewhere, and entering them would double-report when
+// they contain their own map ranges.
+func checkLoopBody(pass *analysis.Pass, rng *ast.RangeStmt, loopVars map[types.Object]bool,
+	sorts map[string][]token.Pos, reported map[token.Pos]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// An append assigned to a per-key destination is
+			// order-independent no matter what it appends to:
+			// c[k] = append([]T(nil), vs...) clones one entry per key.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !usesVars(pass, lhs, loopVars) {
+					continue
+				}
+				ast.Inspect(n.Rhs[i], func(m ast.Node) bool {
+					if call, isCall := m.(*ast.CallExpr); isCall {
+						if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "append" {
+							reported[call.Pos()] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.SendStmt:
+			if !reported[n.Arrow] {
+				reported[n.Arrow] = true
+				pass.Reportf(n.Arrow, "channel send inside range over map: delivery order follows map order; collect and sort first (or annotate //lint:allow-maporder <reason>)")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, rng, loopVars, sorts, reported)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call inside a map-range body.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt,
+	loopVars map[types.Object]bool, sorts map[string][]token.Pos, reported map[token.Pos]bool) {
+	if reported[call.Pos()] {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "append" || len(call.Args) == 0 {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+			return // a local function shadowing append
+		}
+		target := ast.Unparen(call.Args[0])
+		if usesVars(pass, target, loopVars) {
+			return // per-key append (m[k] = append(m[k], v)): order-free
+		}
+		if sortedAfter(sorts, types.ExprString(target), rng.Pos()) {
+			return // collect-then-sort idiom
+		}
+		reported[call.Pos()] = true
+		pass.Reportf(call.Pos(), "append to %s inside range over map bakes map order into the slice; sort it before use (or annotate //lint:allow-maporder <reason>)", types.ExprString(target))
+	case *ast.SelectorExpr:
+		if _, path, qualified := pass.PkgFuncRef(fun); qualified {
+			if path == "fmt" && fmtPrinters[fun.Sel.Name] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(), "fmt.%s inside range over map emits in map order; collect and sort first (or annotate //lint:allow-maporder <reason>)", fun.Sel.Name)
+			}
+			return
+		}
+		if streamMethods[fun.Sel.Name] && isStreamReceiver(pass, fun.X) {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "%s.%s inside range over map writes in map order; collect and sort first (or annotate //lint:allow-maporder <reason>)", types.ExprString(fun.X), fun.Sel.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether expr is sorted at some position after the
+// loop begins (sorting inside the loop after each append is deterministic
+// too, so any position past the range keyword counts).
+func sortedAfter(sorts map[string][]token.Pos, expr string, loopPos token.Pos) bool {
+	for _, p := range sorts[expr] {
+		if p > loopPos {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, has := pass.TypesInfo.Types[rng.X]
+	if !has {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// rangeVars collects the loop's key/value variable objects. Only the :=
+// form defines objects; `for k = range m` with an outer k is resolved
+// through Uses instead.
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, isIdent := e.(*ast.Ident)
+		if !isIdent || id.Name == "_" {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// usesVars reports whether the expression references any of the range
+// statement's own key/value variables (making the write per-key).
+func usesVars(pass *analysis.Pass, e ast.Expr, loopVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && loopVars[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStreamReceiver limits the method-name heuristic to receivers that are
+// plausibly streams: anything whose type (or pointee) is a named type
+// outside this package's basic kinds. Keeping it permissive is fine —
+// Write/Encode on a non-stream is vanishingly rare, and a false positive
+// carries a suppression with a reason.
+func isStreamReceiver(pass *analysis.Pass, recv ast.Expr) bool {
+	tv, has := pass.TypesInfo.Types[recv]
+	if !has {
+		return false
+	}
+	t := tv.Type
+	for {
+		p, isPtr := t.Underlying().(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Basic, *types.Map, *types.Slice:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "testdata", "a", nil)
+}
+
+func TestMaporderClean(t *testing.T) {
+	linttest.RunClean(t, maporder.Analyzer, "testdata", "clean", nil)
+}

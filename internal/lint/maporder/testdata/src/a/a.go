@@ -1,0 +1,124 @@
+// Package a exercises the maporder positive and negative cases.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// bad: append inside a map range with no downstream sort.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "bakes map order into the slice"
+	}
+	return keys
+}
+
+// good: collect-then-sort.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// good: sorting via sort.Slice also counts.
+func appendThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// good: per-key write — the target is indexed by the loop variable.
+func perKeyAppend(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// bad: channel send in map range delivers in map order.
+func sendInRange(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+// bad: stream write in map range.
+func writeInRange(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want "writes in map order"
+	}
+	return buf.String()
+}
+
+// bad: fmt printing in map range.
+func printInRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "emits in map order"
+	}
+}
+
+// good: ranging a slice is ordered already.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// mixed: the outer append is a finding, but the literal's body is not
+// entered, so the inner append reports nothing.
+func litInRange(m map[string]int) []func() []string {
+	var fns []func() []string
+	for k := range m {
+		k := k
+		fns = append(fns, func() []string { // want "bakes map order into the slice"
+			var inner []string
+			inner = append(inner, k)
+			return inner
+		})
+	}
+	return fns
+}
+
+// good: a local helper named sort* restores order.
+func localSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+// good: clone-per-key — the append result lands in a per-key slot.
+func clonePerKey(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, vs := range m {
+		out[k] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+// good: suppressed with a reason.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow-maporder order discarded by the caller's set-union
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,37 @@
+// Package clean is the maporder negative golden: deterministic idioms
+// only, zero findings expected.
+package clean
+
+import "sort"
+
+// Collect keys, sort, then emit — the canonical deterministic shape.
+func Summarize(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Per-key aggregation: map writes indexed by the loop key are order-free.
+func Invert(m map[string]string) map[string][]string {
+	out := make(map[string][]string)
+	for k, v := range m {
+		out[v] = append(out[v], k)
+	}
+	return out
+}
+
+// Order-free reductions over a map are fine.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

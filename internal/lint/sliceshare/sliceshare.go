@@ -1,0 +1,158 @@
+// Package sliceshare flags appends that can silently write into a shared
+// backing array: append(x, ...) where x is read out of a struct field, a
+// container element, or a getter's return value, and the result is NOT
+// assigned back to that same expression. When such a slice has spare
+// capacity, append writes in place — mutating whatever else aliases the
+// array. That is the mergeEntries bug class: the globaldb client's
+// conditional-fetch cache handed out cached Entry.Stages slices, a merge
+// appended "into" them, and one client's view leaked into another round's
+// cache (fixed by hand in PR 6; this analyzer makes the fix structural).
+//
+// Safe shapes, accepted mechanically:
+//
+//	x = append(x, ...)                      // self-append: mutating your own field
+//	y = append(x[:len(x):len(x)], ...)      // full slice expression: capacity pinned, forced copy
+//	y = append(slices.Clone(x), ...)        // package-level helpers return fresh slices
+//	y = append(local, ...)                  // plain locals are owned by this function
+//
+// A deliberate alias (the caller guarantees exclusive ownership) carries
+// //lint:allow-sliceshare <reason>.
+package sliceshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"csaw/internal/lint/analysis"
+)
+
+// Analyzer is the sliceshare analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "sliceshare",
+	Doc:      "flag append to a slice read from a shared struct/getter without a full slice expression or clone; spare capacity makes append write into the shared backing array",
+	Suppress: "sliceshare",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// First pass: appends in assignment position, where the
+		// self-append exemption applies.
+		handled := make(map[*ast.CallExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, isAssign := n.(*ast.AssignStmt)
+			if !isAssign || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call := appendCall(pass, rhs)
+				if call == nil {
+					continue
+				}
+				handled[call] = true
+				src := ast.Unparen(call.Args[0])
+				if !shared(pass, src) {
+					continue
+				}
+				lhs := types.ExprString(ast.Unparen(as.Lhs[i]))
+				if lhs == types.ExprString(src) || lhs == types.ExprString(sliceBase(src)) {
+					// x = append(x, ...) and x = append(x[:n], ...):
+					// self-append, possibly truncating first — the owner
+					// mutating its own storage.
+					continue
+				}
+				report(pass, call, src)
+			}
+			return true
+		})
+		// Second pass: appends in any other position (returned, passed as
+		// an argument, nested in a larger expression) — there is no
+		// "assigned back" there, so a shared source is always a finding.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call := appendCall(pass, n)
+			if call == nil || handled[call] {
+				return true
+			}
+			if src := ast.Unparen(call.Args[0]); shared(pass, src) {
+				report(pass, call, src)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, call *ast.CallExpr, src ast.Expr) {
+	pass.Reportf(call.Pos(), "append to %s may write into a shared backing array; pin capacity with %s[:len(%s):len(%s)] or copy first (or annotate //lint:allow-sliceshare <reason>)",
+		types.ExprString(src), types.ExprString(src), types.ExprString(src), types.ExprString(src))
+}
+
+// appendCall returns n as a builtin append call with arguments, or nil.
+func appendCall(pass *analysis.Pass, n ast.Node) *ast.CallExpr {
+	e, isExpr := n.(ast.Expr)
+	if !isExpr {
+		return nil
+	}
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) == 0 {
+		return nil
+	}
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return call
+}
+
+// sliceBase strips two-index slice expressions: the base of c.items[:n]
+// is c.items. Three-index expressions are not stripped — they already
+// pin capacity and never reach the self-append comparison.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		s, isSlice := e.(*ast.SliceExpr)
+		if !isSlice || s.Slice3 {
+			return e
+		}
+		e = ast.Unparen(s.X)
+	}
+}
+
+// shared reports whether the append source is read out of shared state: a
+// struct field or package-level variable (selector), a container element
+// (index expression), or a method call's return value (getters handing
+// out internal slices). Plain locals, package-function results
+// (slices.Clone and friends return fresh slices), and full three-index
+// slice expressions are not shared.
+func shared(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		// pkg.Var is shared state too; pkg.Func is handled under CallExpr.
+		_, isVar := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		return isVar
+	case *ast.IndexExpr:
+		// An element of a map or slice: whoever holds the container sees
+		// the mutation. Exempt elements of locally-built composites? No —
+		// the container expression rarely distinguishes them; locals
+		// indexed by loop vars stay self-appends in practice.
+		return true
+	case *ast.SliceExpr:
+		if e.Slice3 {
+			return false // full slice expression: capacity pinned
+		}
+		return shared(pass, ast.Unparen(e.X))
+	case *ast.CallExpr:
+		sel, isSel := e.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return false // conversions, builtins, local func results
+		}
+		if _, _, qualified := pass.PkgFuncRef(sel); qualified {
+			return false // package function: returns a fresh value by convention
+		}
+		// A method call: getters return views of receiver state.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package sliceshare_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/sliceshare"
+)
+
+func TestSliceshare(t *testing.T) {
+	linttest.Run(t, sliceshare.Analyzer, "testdata", "a", nil)
+}
+
+func TestSliceshareClean(t *testing.T) {
+	linttest.RunClean(t, sliceshare.Analyzer, "testdata", "clean", nil)
+}

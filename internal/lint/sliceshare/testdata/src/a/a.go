@@ -1,0 +1,87 @@
+// Package a exercises the sliceshare positive and negative cases.
+package a
+
+type cache struct {
+	items  []int
+	byName map[string][]int
+}
+
+func (c *cache) get() []int { return c.items }
+
+// bad: append to a struct field bound to a fresh name — spare capacity
+// writes into the field's backing array.
+func aliasField(c *cache, x int) []int {
+	out := append(c.items, x) // want "shared backing array"
+	return out
+}
+
+// bad: returning the append directly is the same aliasing.
+func aliasReturn(c *cache, x int) []int {
+	return append(c.items, x) // want "shared backing array"
+}
+
+// bad: a map element is shared with everyone holding the map.
+func aliasMapElem(c *cache, k string, x int) []int {
+	merged := append(c.byName[k], x) // want "shared backing array"
+	return merged
+}
+
+// bad: a getter's return value is a view of receiver state.
+func aliasGetter(c *cache, x int) []int {
+	out := append(c.get(), x) // want "shared backing array"
+	return out
+}
+
+// bad: a two-index subslice of a field is still the field's array.
+func aliasSubslice(c *cache, x int) []int {
+	out := append(c.items[:1], x) // want "shared backing array"
+	return out
+}
+
+// good: self-append — the owner mutating its own storage.
+func selfAppend(c *cache, x int) {
+	c.items = append(c.items, x)
+}
+
+// good: truncate-and-append back into the same field.
+func truncateAppend(c *cache, x int) {
+	c.items = append(c.items[:0], x)
+}
+
+// good: per-key self-append on a map element.
+func mapSelfAppend(c *cache, k string, x int) {
+	c.byName[k] = append(c.byName[k], x)
+}
+
+// good: full slice expression pins capacity, forcing a copy.
+func fullSlice(c *cache, x int) []int {
+	out := append(c.items[:len(c.items):len(c.items)], x)
+	return out
+}
+
+// good: plain locals are owned by this function.
+func localAppend(x int) []int {
+	var out []int
+	out = append(out, x)
+	other := append(out, x)
+	return other
+}
+
+// good: package-level function results are fresh values by convention.
+func clonedAppend(c *cache, x int) []int {
+	out := append(cloneInts(c.items), x)
+	return out
+}
+
+func cloneInts(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// good: suppressed with a reason.
+func suppressed(c *cache, x int) []int {
+	//lint:allow-sliceshare caller passes an exclusively-owned scratch cache
+	out := append(c.items, x)
+	return out
+}

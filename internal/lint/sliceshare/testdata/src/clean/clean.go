@@ -1,0 +1,31 @@
+// Package clean is the sliceshare negative golden: ownership-respecting
+// appends only, zero findings expected.
+package clean
+
+type buffer struct {
+	data []byte
+}
+
+// Self-append: the owner grows its own storage.
+func (b *buffer) push(p []byte) {
+	b.data = append(b.data, p...)
+}
+
+// Reset-and-refill: truncating first stays within owned storage.
+func (b *buffer) reset(p []byte) {
+	b.data = append(b.data[:0], p...)
+}
+
+// Full slice expression: capacity pinned, append must copy.
+func (b *buffer) snapshot(extra byte) []byte {
+	return append(b.data[:len(b.data):len(b.data)], extra)
+}
+
+// Locals accumulate freely.
+func gather(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

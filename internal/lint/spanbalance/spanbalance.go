@@ -1,0 +1,236 @@
+// Package spanbalance flags trace spans that can leak: a value acquired
+// from csaw/internal/trace — a Span from Tracer.Start, a Mark from
+// Lane.Begin, or a Hold() on a span — that some path to a function exit
+// neither discharges (Finish / End / Release) nor hands off (stored,
+// returned, passed along). A leaked span never emits, its flight-recorder
+// slot stays occupied, and a held span pins its buffers until process
+// exit; PR 6 balanced every Start with a deferred Finish and every Hold
+// with a deferred Release by hand, and this analyzer keeps new code on
+// that discipline.
+//
+// The check runs on the framework's must-discharge walk
+// (analysis.MustDischarge): from the acquire statement, every structured
+// path to a return must pass the matching call. Discharges inside
+// deferred or spawned closures count — registering `defer sp.Finish(...)`
+// is the last act the function is responsible for. Any other use of the
+// acquired value (assigning it to a field, passing it to a callee,
+// returning it) is an ownership transfer and ends the obligation.
+// Lane.Close is deliberately out of scope: lanes may outlive the fetch
+// that opened them (the flight recorder closes them at retirement).
+package spanbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"csaw/internal/lint/analysis"
+)
+
+// Analyzer is the spanbalance analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "spanbalance",
+	Doc:      "flag trace acquisitions (Tracer.Start, Lane.Begin, Span.Hold) not discharged (Finish, End, Release) on every path; leaked spans never emit and pin recorder slots",
+	Suppress: "spanbalance",
+	Run:      run,
+}
+
+const tracePath = "csaw/internal/trace"
+
+// dischargeFor maps the acquiring method to its discharging method.
+var dischargeFor = map[string]string{
+	"Start": "Finish",
+	"Begin": "End",
+	"Hold":  "Release",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody finds every acquire statement directly in body (nested
+// literals have their own walk) and runs the must-discharge analysis for
+// each.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	acqs := collectAcquires(pass, body)
+	if len(acqs) == 0 {
+		return
+	}
+	recv := receiverIdents(body)
+	for _, acq := range acqs {
+		ob := &analysis.Obligation{
+			Acquire:    acq.stmt,
+			Discharges: acq.discharges(pass),
+			Escapes:    acq.escapes(pass, recv),
+		}
+		if analysis.MustDischarge(body, ob) {
+			pass.Reportf(acq.pos, "%s acquired here is not %s'd on every return path; defer the %s or hand the value off (or annotate //lint:allow-spanbalance <reason>)",
+				acq.what, acq.discharge, acq.discharge)
+		}
+	}
+}
+
+// receiverIdents collects the identifiers appearing as the receiver of a
+// method call (the sel.X of a CallExpr's Fun) anywhere in body. A tracked
+// variable in receiver position is being used, not handed off; any other
+// appearance transfers ownership.
+func receiverIdents(body *ast.BlockStmt) map[*ast.Ident]bool {
+	recv := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+				recv[id] = true
+			}
+		}
+		return true
+	})
+	return recv
+}
+
+// An acquire is one tracked acquisition site.
+type acquire struct {
+	stmt      ast.Stmt     // the acquiring statement (Obligation.Acquire)
+	pos       token.Pos    // report position
+	what      string       // human name: "span sp", "mark m", "hold on sp"
+	discharge string       // Finish / End / Release
+	obj       types.Object // the bound variable (nil for Hold)
+	expr      string       // for Hold: the receiver expression string
+}
+
+// discharges builds the predicate matching the discharging call.
+func (a *acquire) discharges(pass *analysis.Pass) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return false
+		}
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != a.discharge {
+			return false
+		}
+		if a.obj != nil {
+			id, isIdent := ast.Unparen(sel.X).(*ast.Ident)
+			return isIdent && pass.TypesInfo.Uses[id] == a.obj
+		}
+		return types.ExprString(sel.X) == a.expr
+	}
+}
+
+// escapes builds the ownership-transfer predicate: any appearance of the
+// acquired variable outside receiver position — returned, stored in a
+// struct or map, sent on a channel, passed to a callee, captured by a
+// composite literal — makes someone else responsible for the discharge.
+func (a *acquire) escapes(pass *analysis.Pass, recv map[*ast.Ident]bool) func(ast.Node) bool {
+	if a.obj == nil {
+		return nil // Hold tracks an expression, not a binding; no escape
+	}
+	return func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || recv[id] {
+			return false
+		}
+		return pass.TypesInfo.Uses[id] == a.obj
+	}
+}
+
+// collectAcquires walks body (skipping nested function literals) and
+// returns the acquisition statements: `v := E.Start(...)`,
+// `v := E.Begin(...)`, and bare `E.Hold()` statements, plus escapes
+// handled later. Assignments that discard the value (`_ = ...`) and
+// multi-value shapes the tracker cannot follow are skipped.
+func collectAcquires(pass *analysis.Pass, body *ast.BlockStmt) []*acquire {
+	var out []*acquire
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			call, isCall := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			name, isAcq := traceAcquire(pass, call)
+			if !isAcq || name == "Hold" {
+				return true
+			}
+			id, isIdent := s.Lhs[0].(*ast.Ident)
+			if !isIdent || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			what := "span " + id.Name
+			if name == "Begin" {
+				what = "mark " + id.Name
+			}
+			out = append(out, &acquire{
+				stmt: s, pos: call.Pos(), what: what,
+				discharge: dischargeFor[name], obj: obj,
+			})
+		case *ast.ExprStmt:
+			call, isCall := ast.Unparen(s.X).(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			name, isAcq := traceAcquire(pass, call)
+			if !isAcq || name != "Hold" {
+				return true
+			}
+			recv := types.ExprString(ast.Unparen(call.Fun.(*ast.SelectorExpr).X))
+			out = append(out, &acquire{
+				stmt: s, pos: call.Pos(), what: "hold on " + recv,
+				discharge: "Release", expr: recv,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// traceAcquire reports whether call is Tracer.Start, Lane.Begin, or
+// Span.Hold from csaw/internal/trace, returning the method name.
+func traceAcquire(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != tracePath {
+		return "", false
+	}
+	if _, tracked := dischargeFor[fn.Name()]; !tracked {
+		return "", false
+	}
+	// Only method calls count: the selector receiver anchors the
+	// discharge matching.
+	if _, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); !isSel {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,16 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"csaw/internal/lint/linttest"
+	"csaw/internal/lint/spanbalance"
+)
+
+func TestSpanbalance(t *testing.T) {
+	linttest.Run(t, spanbalance.Analyzer, "testdata", "a", nil)
+}
+
+func TestSpanbalanceClean(t *testing.T) {
+	linttest.RunClean(t, spanbalance.Analyzer, "testdata", "clean", nil)
+}

@@ -1,0 +1,113 @@
+// Package a exercises the spanbalance positive and negative cases.
+package a
+
+import (
+	"errors"
+
+	"csaw/internal/trace"
+)
+
+// bad: the early return leaks the span — no Finish on that path.
+func leakEarlyReturn(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start("c1", 1, "http://x/") // want "not Finish'd on every return path"
+	if fail {
+		return errors.New("bailed without finishing")
+	}
+	sp.Finish("direct", "ok", nil)
+	return nil
+}
+
+// bad: falling off the end without a Finish leaks too.
+func leakFallOff(tr *trace.Tracer) {
+	sp := tr.Start("c1", 2, "http://x/") // want "not Finish'd on every return path"
+	sp.Event("app", "started", "")
+}
+
+// bad: a mark ended on one branch only.
+func leakMark(sp *trace.Span, deep bool) {
+	lane := sp.Lane("probe")
+	m := lane.Begin(trace.PhaseConnect) // want "not End'd on every return path"
+	if deep {
+		m.End()
+	}
+}
+
+// bad: a hold with a conditional release pins the span's buffers.
+func leakHold(sp *trace.Span, keep bool) {
+	sp.Hold() // want "not Release'd on every return path"
+	if keep {
+		return
+	}
+	sp.Release()
+}
+
+// good: the canonical shape — deferred Finish covers every path.
+func deferredFinish(tr *trace.Tracer, fail bool) error {
+	sp := tr.Start("c1", 3, "http://x/")
+	defer func() { sp.Finish("direct", "ok", nil) }()
+	if fail {
+		return errors.New("covered by the defer")
+	}
+	return nil
+}
+
+// good: both branches discharge.
+func branchesFinish(tr *trace.Tracer, fail bool) {
+	sp := tr.Start("c1", 4, "http://x/")
+	if fail {
+		sp.Finish("direct", "error", errors.New("x"))
+		return
+	}
+	sp.Finish("direct", "ok", nil)
+}
+
+// good: handing the span to a goroutine transfers ownership; the
+// closure's own walk sees the Release.
+func heldAcrossGoroutine(sp *trace.Span, done chan struct{}) {
+	sp.Hold()
+	go func() {
+		defer sp.Release()
+		<-done
+	}()
+}
+
+// good: returning the span makes the caller responsible.
+func startAndReturn(tr *trace.Tracer) *trace.Span {
+	sp := tr.Start("c1", 5, "http://x/")
+	return sp
+}
+
+// good: storing the span transfers ownership to the struct's owner.
+type fetchState struct {
+	sp *trace.Span
+}
+
+func startAndStore(tr *trace.Tracer, st *fetchState) {
+	sp := tr.Start("c1", 6, "http://x/")
+	st.sp = sp
+}
+
+// good: marks balanced in sequence.
+func balancedMarks(sp *trace.Span) {
+	lane := sp.Lane("probe")
+	m := lane.Begin(trace.PhaseDNS)
+	m.End()
+	m2 := lane.Begin(trace.PhaseConnect)
+	m2.End()
+}
+
+// good: a panic path is not a leak.
+func finishOrPanic(tr *trace.Tracer, fail bool) {
+	sp := tr.Start("c1", 7, "http://x/")
+	if fail {
+		panic("unreachable in production")
+	}
+	sp.Finish("direct", "ok", nil)
+}
+
+// good: suppressed with a reason.
+func suppressed(tr *trace.Tracer) {
+	//lint:allow-spanbalance span intentionally leaked to measure recorder backpressure
+	sp := tr.Start("c1", 8, "http://x/")
+	_ = sp
+}

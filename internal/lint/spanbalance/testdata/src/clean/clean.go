@@ -1,0 +1,34 @@
+// Package clean is the spanbalance negative golden: every acquisition is
+// discharged or handed off, zero findings expected.
+package clean
+
+import (
+	"csaw/internal/trace"
+)
+
+// The fetch shape from internal/core: start, defer the finish, work.
+func fetchShape(tr *trace.Tracer, work func() (string, error)) error {
+	sp := tr.Start("client", 1, "http://target/")
+	var status string
+	var err error
+	defer func() { sp.Finish("direct", status, err) }()
+	status, err = work()
+	return err
+}
+
+// The failover shape: hold the span across a background goroutine.
+func failoverShape(sp *trace.Span, done chan struct{}) {
+	sp.Hold()
+	go func() {
+		defer sp.Release()
+		<-done
+	}()
+}
+
+// The phase-timing shape: balanced marks on a lane.
+func timedPhases(sp *trace.Span, dial func()) {
+	lane := sp.Lane("fetch")
+	m := lane.Begin(trace.PhaseConnect)
+	dial()
+	m.End()
+}

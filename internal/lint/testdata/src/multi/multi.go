@@ -1,0 +1,56 @@
+// Package multi is the multichecker golden package: one source file with
+// findings from several analyzers at once, used to pin cross-analyzer
+// output ordering (diagnostics sort by position, then analyzer name).
+package multi
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	peers map[string][]string
+	log   []string
+}
+
+// maporder: map order reaches the returned slice.
+func (h *hub) names() []string {
+	var out []string
+	for name := range h.peers {
+		out = append(out, name) // want "bakes map order into the slice"
+	}
+	return out
+}
+
+// sliceshare: append into a field's backing array under a fresh name.
+func (h *hub) appendLog(line string) []string {
+	snapshot := append(h.log, line) // want "shared backing array"
+	return snapshot
+}
+
+// condwake: wakeup without the mutex.
+func (h *hub) nudge() {
+	h.cond.Broadcast() // want "without h.cond's mutex held"
+}
+
+// ctxloop: blocking retry loop deaf to its context.
+func (h *hub) pump(ctx context.Context, ch chan string) {
+	for { // want "never consults the context"
+		line, ok := <-ch
+		if !ok {
+			return
+		}
+		h.mu.Lock()
+		h.log = append(h.log, line)
+		h.mu.Unlock()
+	}
+}
+
+// vtimecheck: wall-clock read outside internal/vtime (same line also
+// trips nothing else — keeps one legacy analyzer in the golden mix).
+func (h *hub) stamp() time.Time {
+	return time.Now() // want "wall-clock time"
+}

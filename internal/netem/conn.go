@@ -88,7 +88,12 @@ func (p *pipe) waitUntil(t time.Time) {
 	if d < 0 {
 		d = 0
 	}
-	stop := time.AfterFunc(d, p.cond.Broadcast)
+	// The timer must wake through lockedBroadcast: a bare cond.Broadcast
+	// can fire in the gap between this caller's predicate check and its
+	// park inside Wait, and a wakeup delivered into that gap is lost —
+	// taking p.mu first makes the timer goroutine block until the waiter
+	// is parked and guaranteed to hear it.
+	stop := time.AfterFunc(d, p.lockedBroadcast)
 	p.cond.Wait()
 	stop.Stop()
 }

@@ -26,7 +26,7 @@ func eventWorld(t *testing.T) (*Network, *Host, *Host) {
 func TestEventModeEcho(t *testing.T) {
 	n, client, server := eventWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 
 	start := n.Clock().Now()
@@ -58,7 +58,7 @@ func TestEventModeEcho(t *testing.T) {
 func TestEventModeReadDeadline(t *testing.T) {
 	n, client, server := eventWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	go func() {
 		c, err := l.Accept()
 		if err != nil {

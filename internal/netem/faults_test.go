@@ -18,7 +18,7 @@ func flapWorld(t *testing.T) (*Network, *Host, *Host, *FaultInjector) {
 func serveEcho(t *testing.T, server *Host) *Listener {
 	t.Helper()
 	l := server.MustListen(80)
-	t.Cleanup(func() { l.Close() })
+	t.Cleanup(func() { closeListener(t, l) })
 	go func() {
 		for {
 			c, err := l.Accept()

@@ -27,6 +27,16 @@ func testWorld(t *testing.T, opts ...Option) (*Network, *Host, *Host) {
 	return n, client, server
 }
 
+// closeListener closes l and fails the test if Close ever grows an error
+// path (today it is contractually nil); tests must not drop sync errors
+// silently any more than the simulation may.
+func closeListener(t testing.TB, l *Listener) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Errorf("listener close: %v", err)
+	}
+}
+
 // echoOnce accepts one connection and echoes everything back.
 func echoOnce(t *testing.T, l *Listener) {
 	t.Helper()
@@ -43,7 +53,7 @@ func echoOnce(t *testing.T, l *Listener) {
 func TestDialAndEcho(t *testing.T) {
 	_, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 
 	conn, err := client.DialTimeout("93.184.216.34:80", 5*time.Second)
@@ -67,7 +77,7 @@ func TestDialAndEcho(t *testing.T) {
 func TestDialLatency(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 
 	start := n.Clock().Now()
@@ -100,7 +110,7 @@ func TestBandwidthDelay(t *testing.T) {
 	// 100 KiB at 100 KiB/s should take ~1s virtual on top of latency.
 	n, client, server := testWorld(t, WithBandwidth(100*1024))
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	const size = 100 * 1024
 	go func() {
 		c, err := l.Accept()
@@ -176,7 +186,7 @@ func (resetAll) FilterConnect(Flow) Verdict { return VerdictReset }
 func TestInterceptorDrop(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	n.AS(100).SetInterceptor(dropAll{})
 
 	start := n.Clock().Now()
@@ -192,7 +202,7 @@ func TestInterceptorDrop(t *testing.T) {
 func TestInterceptorReset(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	n.AS(100).SetInterceptor(resetAll{})
 
 	start := n.Clock().Now()
@@ -223,7 +233,7 @@ func (hijacker) HandleStream(_ Flow, s *Session) {
 func TestInterceptorHijack(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 	n.AS(100).SetInterceptor(hijacker{})
 
@@ -253,7 +263,7 @@ func (splicer) HandleStream(_ Flow, s *Session) { s.Splice() }
 func TestInterceptorSplice(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 	n.AS(100).SetInterceptor(splicer{})
 
@@ -290,7 +300,7 @@ func (midReset) HandleStream(_ Flow, s *Session) {
 func TestInterceptorMidStreamReset(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	echoOnce(t, l)
 	n.AS(100).SetInterceptor(midReset{})
 
@@ -312,7 +322,7 @@ func TestInterceptorMidStreamReset(t *testing.T) {
 func TestReadDeadline(t *testing.T) {
 	n, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	go func() {
 		c, err := l.Accept()
 		if err != nil {
@@ -343,7 +353,7 @@ func TestReadDeadline(t *testing.T) {
 func TestCloseDeliversEOFAfterDrain(t *testing.T) {
 	_, client, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	go func() {
 		c, err := l.Accept()
 		if err != nil {
@@ -376,7 +386,7 @@ func TestMultihomedEgressVariesAS(t *testing.T) {
 	server := n.MustAddHost("server", "93.184.216.34", "us", us)
 	n.SetRTT("pk", "us", 100*time.Millisecond)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 
 	if !client.Multihomed() {
 		t.Fatal("client should report multihomed")
@@ -432,26 +442,27 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 		_, err := l.Accept()
 		done <- err
 	}()
-	l.Close()
+	closeListener(t, l)
 	select {
 	case err := <-done:
 		if err == nil {
 			t.Fatal("Accept returned nil after Close")
 		}
+	//lint:allow-realtime watchdog for a wall-clock hang; virtual time cannot bound a scheduler bug
 	case <-time.After(2 * time.Second):
 		t.Fatal("Accept did not unblock on Close")
 	}
-	l.Close() // double close must be safe
+	closeListener(t, l) // double close must be safe
 }
 
 func TestListenPortConflict(t *testing.T) {
 	_, _, server := testWorld(t)
 	l := server.MustListen(80)
-	defer l.Close()
+	defer closeListener(t, l)
 	if _, err := server.Listen(80); err == nil {
 		t.Fatal("second Listen on same port succeeded")
 	}
-	l.Close()
+	closeListener(t, l)
 	if _, err := server.Listen(80); err != nil {
 		t.Fatalf("Listen after Close: %v", err)
 	}
@@ -500,7 +511,7 @@ func TestLossAddsRetransmissionDelay(t *testing.T) {
 		s := n.MustAddHost("s", "10.0.0.2", "us", us)
 		n.SetRTT("pk", "us", 100*time.Millisecond)
 		l := s.MustListen(80)
-		defer l.Close()
+		defer closeListener(t, l)
 		go func() {
 			conn, err := l.Accept()
 			if err != nil {

@@ -100,7 +100,7 @@ func TestEventAfterFuncRuns(t *testing.T) {
 	c.Advance(5 * time.Second)
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("AfterFunc body never ran after advancing to its deadline")
 	}
 }
@@ -159,7 +159,7 @@ func TestEventWithTimeoutDeadlineExceeded(t *testing.T) {
 	c.Advance(30 * time.Second)
 	select {
 	case <-ctx.Done():
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("ctx not done after advancing past its virtual deadline")
 	}
 	// The detector classifies timeouts with errors.Is(err, DeadlineExceeded);
@@ -177,7 +177,7 @@ func TestEventWithTimeoutParentCancel(t *testing.T) {
 	cancelParent()
 	select {
 	case <-ctx.Done():
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("ctx not done after parent cancellation")
 	}
 	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
@@ -236,7 +236,7 @@ func TestEventJumpNext(t *testing.T) {
 	}
 	select {
 	case <-fired:
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("JumpNext did not fire the timer it jumped to")
 	}
 	if c.JumpNext() {
@@ -277,14 +277,14 @@ func TestNewTickerSubScalePeriod(t *testing.T) {
 	// tiny-but-positive virtual duration as already expired.
 	select {
 	case <-c.After(30 * time.Nanosecond):
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("After(30ns) at scale 40 never fired")
 	}
 	done := make(chan struct{})
 	c.AfterFunc(30*time.Nanosecond, func() { close(done) })
 	select {
 	case <-done:
-	case <-time.After(5 * time.Second): //lint:allow-realtime test watchdog
+	case <-time.After(5 * time.Second):
 		t.Fatal("AfterFunc(30ns) at scale 40 never fired")
 	}
 }

@@ -2,6 +2,7 @@ package web
 
 import (
 	"bufio"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +57,7 @@ func (o *Origin) Hosts() []string {
 	for h := range o.sites {
 		hosts = append(hosts, h)
 	}
+	sort.Strings(hosts)
 	return hosts
 }
 

@@ -10,6 +10,7 @@ package worldgen
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -425,6 +426,9 @@ func (w *World) LDNSAddrs(host *netem.Host) []string {
 			}
 		}
 	}
+	// w.ISPs is a map: without a sort, a multihomed host's resolver
+	// preference order would vary run to run.
+	sort.Strings(addrs)
 	return addrs
 }
 

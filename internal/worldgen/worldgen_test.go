@@ -77,7 +77,10 @@ func TestTable2LatenciesSeeded(t *testing.T) {
 	}
 	client := w.NewClientHost("pinger", isp)
 	for name, want := range StaticProxyLatencies {
-		ip, _, _ := netem.SplitAddr(w.StaticProxies[name])
+		ip, _, err := netem.SplitAddr(w.StaticProxies[name])
+		if err != nil {
+			t.Fatal(err)
+		}
 		rtt, err := w.Net.Ping(client, ip)
 		if err != nil {
 			t.Fatal(err)
