@@ -14,6 +14,11 @@
 #                      most of it that floor)
 #   make bench-fleet-full — bench-fleet with the 100k-client event-mode
 #                      curve point included (several extra minutes)
+#   make bench-globaldb — emit BENCH_globaldb.json (WAL recovery time vs
+#                      log length with a compaction control, bytes/sync
+#                      full-vs-delta at 1k/10k/100k URL universes gated at
+#                      delta ≤ 20% of full, and the virtual failover-to-
+#                      first-successful-sync latency)
 #   make soak-churn  — seeded censor-churn soak under -race: the scenario
 #                      runs twice and the summary + trace artifact must be
 #                      byte-identical
@@ -23,7 +28,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check bench-fleet bench-fleet-full soak-churn golden fuzz cover
+.PHONY: all build test tier1 vet lint race check bench-fleet bench-fleet-full bench-globaldb soak-churn golden fuzz cover
 
 all: tier1
 
@@ -52,6 +57,9 @@ bench-fleet:
 bench-fleet-full:
 	CSAW_BENCH_FLEET_FULL=1 CSAW_BENCH_FLEET_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test ./internal/fleet -run TestEmitBenchFleet -count=1 -v -timeout 60m
 
+bench-globaldb:
+	CSAW_BENCH_GLOBALDB_OUT=$(CURDIR)/BENCH_globaldb.json $(GO) test ./internal/globaldb -run TestEmitBenchGlobalDB -count=1 -v -timeout 15m
+
 # Determinism soak for the adversarial-churn scenario: same seed twice,
 # rendered summary and deterministic-profile trace must not differ by a
 # byte (classification margins must beat scheduler jitter), with the race
@@ -65,12 +73,14 @@ soak-churn:
 golden:
 	CSAW_UPDATE_GOLDEN=1 $(GO) test ./internal/core -run TestGoldenTrace -count=1
 
-# One short engine pass per wire-codec fuzz target; the checked-in seed
-# corpora under testdata/fuzz/ always run as plain regression subtests.
+# One short engine pass per wire-codec fuzz target (plus the WAL record
+# decoder — the bytes a crash can tear); the checked-in seed corpora under
+# testdata/fuzz/ always run as plain regression subtests.
 fuzz:
 	$(GO) test ./internal/dnsx -run '^$$' -fuzz FuzzMessageDecode -fuzztime 10s
 	$(GO) test ./internal/httpx -run '^$$' -fuzz FuzzReadResponse -fuzztime 10s
 	$(GO) test ./internal/httpx -run '^$$' -fuzz FuzzReadRequest -fuzztime 10s
+	$(GO) test ./internal/globaldb/storage -run '^$$' -fuzz FuzzReplay -fuzztime 10s
 
 # Combined statement coverage over the measurement pipeline (core + detect
 # + trace), gated against the baseline recorded in COVERAGE.md.

@@ -4,9 +4,16 @@
 // aggregate statistics endpoint — then prints the resulting state. It is a
 // demonstration-and-diagnostics binary for the crowdsourcing backend.
 //
+// With -wal the server write-ahead-logs every mutation into the given
+// directory, and the run ends with a kill-and-recover check: the store is
+// reopened from snapshot+log and must serve a byte-identical blocked list.
+// With -replicas N the primary streams its log to N follower replicas and
+// the run demonstrates a censor blackholing the primary: a replica-set
+// client times out, fails over, and is answered 304 by a follower.
+//
 // Usage:
 //
-//	csaw-globaldb [-reporters N] [-spam N]
+//	csaw-globaldb [-reporters N] [-spam N] [-wal DIR] [-snapshot-every N] [-replicas N]
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"csaw/internal/globaldb"
+	"csaw/internal/globaldb/replica"
 	"csaw/internal/localdb"
 	"csaw/internal/metrics"
 	"csaw/internal/netem"
@@ -26,6 +34,9 @@ func main() {
 	var (
 		reporters = flag.Int("reporters", 5, "honest reporters to simulate")
 		spam      = flag.Int("spam", 40, "URLs sprayed by one malicious reporter")
+		walDir    = flag.String("wal", "", "directory for the WAL+snapshot store (empty: in-memory)")
+		snapEvery = flag.Int("snapshot-every", 0, "WAL compaction cadence in records (0: default, negative: never)")
+		replicas  = flag.Int("replicas", 0, "follower replicas pulling the primary's log stream")
 	)
 	flag.Parse()
 
@@ -35,11 +46,55 @@ func main() {
 	asn := 17557
 
 	srvHost := n.MustAddHost("globaldb", "40.0.0.1", "us", cloud)
-	srv := globaldb.NewServer(clock, nil)
+	var srv *globaldb.Server
+	if *walDir != "" || *replicas > 0 {
+		var err error
+		srv, err = globaldb.NewDurableServer(clock, nil, globaldb.StoreOptions{
+			Dir:           *walDir,
+			SnapshotEvery: *snapEvery,
+			Replicated:    *replicas > 0,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		srv = globaldb.NewServer(clock, nil)
+	}
 	if err := srv.Attach(srvHost, 80); err != nil {
 		fatal(err)
 	}
-	fmt.Println("global DB serving on 40.0.0.1:80 (emulated)")
+	mode := "in-memory sharded store"
+	if *walDir != "" {
+		mode = fmt.Sprintf("WAL+snapshot store in %s", *walDir)
+	}
+	fmt.Printf("global DB serving on 40.0.0.1:80 (emulated, %s)\n", mode)
+
+	// Follower replicas on their own cloud hosts, as worldgen places them:
+	// distinct IPs the censor must blackhole separately.
+	endpoints := []string{"40.0.0.1:80"}
+	var set *replica.Set
+	if *replicas > 0 {
+		followers := make([]*replica.Follower, *replicas)
+		for i := range followers {
+			host := n.MustAddHost(fmt.Sprintf("globaldb-replica-%d", i),
+				fmt.Sprintf("40.0.1.%d", i+1), "us", cloud)
+			f := &replica.Follower{
+				Name:        fmt.Sprintf("replica-%d", i),
+				Server:      globaldb.NewServer(clock, nil),
+				PrimaryAddr: "40.0.0.1:80",
+				PrimaryHost: "globaldb.example",
+				Dial:        host.Dial,
+				Clock:       clock,
+			}
+			if err := f.Attach(host, 80); err != nil {
+				fatal(err)
+			}
+			followers[i] = f
+			endpoints = append(endpoints, host.IP()+":80")
+		}
+		set = &replica.Set{Followers: followers, Clock: clock}
+		fmt.Printf("replication: %d followers at %v\n", *replicas, endpoints[1:])
+	}
 
 	mkClient := func(i int) *globaldb.Client {
 		h := n.MustAddHost(fmt.Sprintf("reporter-%d", i), fmt.Sprintf("10.0.%d.%d", i/200, 1+i%200), "pk", cloud)
@@ -87,6 +142,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fullBytes := clients[0].Stats().ListBytes
 	lax := globaldb.TrustFilter{}
 	strict := globaldb.TrustFilter{MinReporters: 2, MinAvgVote: 0.1}
 	tbl := metrics.Table{
@@ -114,6 +170,79 @@ func main() {
 	st := srv.StatsSnapshot()
 	fmt.Printf("server stats: users=%d blocked_urls=%d domains=%d ases=%d updates=%d by_type=%v\n",
 		st.Users, st.BlockedURLs, st.BlockedDomains, st.ASes, st.Updates, st.ByType)
+
+	if set != nil {
+		demoFailover(ctx, n, clock, srv, set, endpoints, asn, fullBytes)
+	}
+	if *walDir != "" {
+		demoRecovery(srv, *walDir, *snapEvery, asn, fullBytes, len(entries))
+	}
+}
+
+// demoFailover quiesces replication, then plays the §5 scenario: the censor
+// blackholes the primary's IP and a replica-set client fails over to a
+// follower within the same sync call — answered 304, because converged
+// replicas share validator tags.
+func demoFailover(ctx context.Context, n *netem.Network, clock *vtime.Clock,
+	srv *globaldb.Server, set *replica.Set, endpoints []string, asn, fullBytes int) {
+	// Twice: the first pass ships the log, the second carries the acks.
+	for i := 0; i < 2; i++ {
+		if err := set.SyncAll(ctx); err != nil {
+			fatal(fmt.Errorf("replication sync: %w", err))
+		}
+	}
+	lag := replica.Lag(srv.ReplicationFeed())
+	fmt.Printf("\nreplication quiesced: head=%d, followers=%d, max lag=%d\n",
+		lag.Head, len(lag.Followers), lag.MaxLag)
+
+	h := n.MustAddHost("failover-user", "10.0.9.1", "pk", n.AS(900))
+	c := &globaldb.Client{
+		Replicas: endpoints, Host: "globaldb.example", Clock: clock,
+		ReportDial: h.Dial, FetchDial: h.Dial,
+	}
+	if err := c.Register(ctx, "human-failover"); err != nil {
+		fatal(err)
+	}
+	if _, err := c.FetchBlocked(ctx, asn); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replica-set client synced from %s (%d list bytes)\n", c.LastServed(), c.Stats().ListBytes)
+
+	srv.Faults().SetDrop(true) // the censor blackholes 40.0.0.1: SYNs vanish
+	srv.Faults().SetOutage(true)
+	start := clock.Now()
+	if _, err := c.FetchBlocked(ctx, asn); err != nil {
+		fatal(fmt.Errorf("failover fetch: %w", err))
+	}
+	elapsed := clock.Now().Sub(start)
+	cs := c.Stats()
+	fmt.Printf("primary blackholed: failed over to %s in %.1fs virtual (failovers=%d, 304s=%d, list bytes moved=%d)\n",
+		c.LastServed(), elapsed.Seconds(), cs.Failovers, cs.Fetch304, cs.ListBytes-fullBytes)
+	srv.Faults().SetDrop(false)
+	srv.Faults().SetOutage(false)
+}
+
+// demoRecovery kills the durable server and reopens its directory: recovery
+// replays snapshot + log tail and must serve the exact pre-kill body.
+func demoRecovery(srv *globaldb.Server, dir string, snapEvery, asn, fullBytes, nEntries int) {
+	if err := srv.Close(); err != nil {
+		fatal(fmt.Errorf("close durable server: %w", err))
+	}
+	re, err := globaldb.NewWALBenchStore(dir, snapEvery)
+	if err != nil {
+		fatal(fmt.Errorf("recover store: %w", err))
+	}
+	body := re.FetchResponse(asn)
+	recovered := re.Recovered()
+	fmt.Printf("\nkill-and-recover from %s: replayed %d log records; blocked list is %d bytes (pre-kill %d), %d entries (pre-kill %d)\n",
+		dir, recovered, len(body), fullBytes, len(re.BlockedForAS(asn)), nEntries)
+	if len(body) != fullBytes || len(re.BlockedForAS(asn)) != nEntries {
+		fatal(fmt.Errorf("recovered state diverges from the pre-kill state"))
+	}
+	if err := re.Close(); err != nil {
+		fatal(fmt.Errorf("close recovered store: %w", err))
+	}
+	fmt.Println("recovered state matches byte-for-byte")
 }
 
 func fatal(err error) {

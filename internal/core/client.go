@@ -268,12 +268,33 @@ func (c *Client) bump(name string) {
 
 // CountersSnapshot returns a copy of every event counter — the fleet driver
 // folds these into its aggregate summary without N per-name lock round-trips.
+// The global DB client's sync-path outcomes ride along under "gdb-" names
+// (nonzero only), so fleet summaries account full vs delta vs 304 syncs,
+// list bytes, and replica failovers without reaching into the client.
 func (c *Client) CountersSnapshot() map[string]int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.counters))
+	out := make(map[string]int, len(c.counters)+6)
 	for k, v := range c.counters {
 		out[k] = v
+	}
+	c.mu.Unlock()
+	if c.cfg.GlobalDB != nil {
+		gs := c.cfg.GlobalDB.Stats()
+		for _, kv := range []struct {
+			name string
+			v    int
+		}{
+			{"gdb-fetch-full", gs.FetchFull},
+			{"gdb-fetch-delta", gs.FetchDelta},
+			{"gdb-fetch-304", gs.Fetch304},
+			{"gdb-list-bytes", gs.ListBytes},
+			{"gdb-failovers", gs.Failovers},
+			{"gdb-replica-down", gs.ReplicaDown},
+		} {
+			if kv.v != 0 {
+				out[kv.name] = kv.v
+			}
+		}
 	}
 	return out
 }

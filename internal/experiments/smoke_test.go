@@ -46,4 +46,8 @@ func TestSmokeSyncFault(t *testing.T) { smoke(t, "sync-fault", 3) }
 
 func TestSmokeCensorChurn(t *testing.T) { smoke(t, "censor-churn", 1) }
 
+func TestSmokeReplicaLoss(t *testing.T) { smoke(t, "replica-loss", 2) }
+
+func TestSmokeDeltaSync(t *testing.T) { smoke(t, "delta-sync", 3) }
+
 func TestSmokeFleet(t *testing.T) { smoke(t, "fleet", 50) }

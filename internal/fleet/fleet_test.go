@@ -211,6 +211,32 @@ func TestEventModeSmoke(t *testing.T) {
 	}
 }
 
+// TestFleetWALByteIdentical: durability must be invisible to the plan
+// plane. A same-seed run against a WAL-backed global DB (with compaction
+// exercised) renders byte-for-byte the Summary of the in-memory run — the
+// write-ahead logging, snapshotting, and truncation never perturb ingest
+// semantics, aggregation order, or validator tags.
+func TestFleetWALByteIdentical(t *testing.T) {
+	wl := smokeWorkload(11)
+	mem := runFleetWorld(t, wl, worldgen.Options{EventDriven: true, Seed: wl.Seed}, nil)
+	wal := runFleetWorld(t, wl, worldgen.Options{
+		EventDriven:           true,
+		Seed:                  wl.Seed,
+		GlobalDBWALDir:        t.TempDir(),
+		GlobalDBSnapshotEvery: 64, // force several compactions over the run
+	}, nil)
+	if !wal.Summary.Consistent() {
+		t.Errorf("WAL-backed global DB diverged from the plan expectation:\n%s", wal.Summary.Render())
+	}
+	if got, want := wal.Summary.Render(), mem.Summary.Render(); got != want {
+		t.Errorf("WAL-backed summary diverged from in-memory:\n--- mem ---\n%s--- wal ---\n%s", want, got)
+	}
+	if wal.Measured.SyncErrors > 0 || wal.Measured.Degraded > 0 {
+		t.Errorf("sync errors %d, degraded %d against the WAL store",
+			wal.Measured.SyncErrors, wal.Measured.Degraded)
+	}
+}
+
 // TestFleetRunCancellation is the regression test for two driver bugs: a
 // cancelled run used to let every worker finish its full timeline (minutes
 // of wall time after the caller gave up), and the join/retire retry loops

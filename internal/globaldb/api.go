@@ -24,10 +24,29 @@ const (
 	PathReport   = "/v1/report"
 	PathFetch    = "/v1/blocked"
 	PathStats    = "/v1/stats"
+	// PathRepl is the replication pull endpoint served by durable primaries:
+	// GET /v1/repl?from=N&follower=name&max=M returns framed WAL records
+	// starting at sequence N (at most M bytes), recording name's ack at N.
+	PathRepl = "/v1/repl"
 )
 
 // CaptchaHeader carries the solved-CAPTCHA token on registration.
 const CaptchaHeader = "X-Recaptcha-Token"
+
+// DeltaHeader marks a 200 /v1/blocked response whose body is a
+// DeltaResponse rather than a full FetchResponse. Its value is
+// DeltaEncoding; clients that did not send If-None-Match never see it.
+const (
+	DeltaHeader   = "X-List-Encoding"
+	DeltaEncoding = "delta"
+)
+
+// Replication response headers: the sequence the next pull should start at,
+// and the primary's current head.
+const (
+	ReplNextHeader = "X-Repl-Next"
+	ReplHeadHeader = "X-Repl-Head"
+)
 
 // RegisterResponse returns the server-assigned UUID.
 type RegisterResponse struct {
@@ -76,6 +95,18 @@ type Entry struct {
 type FetchResponse struct {
 	ASN     int     `json:"asn"`
 	Entries []Entry `json:"entries"`
+}
+
+// DeltaResponse is the versioned delta served to a conditional fetch whose
+// If-None-Match tag is stale but still within the server's edit history:
+// only the entries changed since the snapshot named by Since, plus the URLs
+// removed from the list. Applying it to the cached list for Since yields
+// exactly the server's current full list.
+type DeltaResponse struct {
+	ASN     int      `json:"asn"`
+	Since   string   `json:"since"`
+	Changed []Entry  `json:"changed,omitempty"`
+	Removed []string `json:"removed,omitempty"`
 }
 
 // Stats aggregates the deployment-level numbers reported in Table 7.

@@ -4,9 +4,11 @@ import "time"
 
 // BenchStore exposes the store backends' ingest/fetch surface to the
 // cross-package benchmark trajectory (internal/fleet's BenchmarkFleet*
-// suite and the BENCH_fleet.json emitter): the before/after comparison of
-// the retained single-mutex seed store against the sharded default. It is
-// not part of the simulation API — the Server never hands one out.
+// suite and the BENCH_fleet.json / BENCH_globaldb.json emitters): the
+// before/after comparison of the retained single-mutex seed store against
+// the sharded default, and the WAL-backed store's recovery and delta-sync
+// costs. It is not part of the simulation API — the Server never hands one
+// out.
 type BenchStore struct{ s store }
 
 // NewLegacyBenchStore returns the seed's single-mutex store.
@@ -14,6 +16,33 @@ func NewLegacyBenchStore() BenchStore { return BenchStore{newLegacyStore()} }
 
 // NewShardedBenchStore returns the sharded default store.
 func NewShardedBenchStore() BenchStore { return BenchStore{newShardedStore()} }
+
+// NewWALBenchStore opens a WAL-backed store rooted at dir (see
+// StoreOptions). Reopening the same dir measures recovery.
+func NewWALBenchStore(dir string, snapshotEvery int) (BenchStore, error) {
+	d, err := newDurableStore(StoreOptions{Dir: dir, SnapshotEvery: snapshotEvery})
+	if err != nil {
+		return BenchStore{}, err
+	}
+	return BenchStore{d}, nil
+}
+
+// Recovered reports how many log records the WAL-backed store replayed at
+// open (0 for other backends).
+func (b BenchStore) Recovered() int64 {
+	if d, ok := b.s.(*durableStore); ok {
+		return d.recovered
+	}
+	return 0
+}
+
+// Close releases the backend's files (no-op for in-memory stores).
+func (b BenchStore) Close() error {
+	if d, ok := b.s.(*durableStore); ok {
+		return d.close()
+	}
+	return nil
+}
 
 // AddUser registers a uuid.
 func (b BenchStore) AddUser(uuid string) { b.s.addUser(uuid) }
@@ -26,8 +55,15 @@ func (b BenchStore) Ingest(uuid string, now time.Time, reports []Report) (int, b
 // FetchResponse serves the /v1/blocked body, as handleFetch does for an
 // unconditional request.
 func (b BenchStore) FetchResponse(asn int) []byte {
-	body, _, _ := b.s.fetchResponse(asn, "")
-	return body
+	return b.s.fetchResponse(asn, "").body
+}
+
+// FetchConditional serves a conditional fetch: the body (nil on a
+// not-modified hit), the new validator tag, and whether the body is a
+// delta against inm.
+func (b BenchStore) FetchConditional(asn int, inm string) (body []byte, tag string, delta bool) {
+	fr := b.s.fetchResponse(asn, inm)
+	return fr.body, fr.tag, fr.delta
 }
 
 // BlockedForAS aggregates an AS's entries.

@@ -10,6 +10,7 @@ import (
 	"csaw/internal/httpx"
 	"csaw/internal/localdb"
 	"csaw/internal/netem"
+	"csaw/internal/trace"
 	"csaw/internal/vtime"
 )
 
@@ -17,20 +18,53 @@ import (
 // censorship reports over Tor so a snooping censor cannot identify
 // contributors (§5 "User privacy and resilience to detection"), while
 // list fetches may use any reachable path.
+//
+// The DB may be deployed as a replica set (§5: blocking access to the
+// global_DB is countered by moving it — here, by having more than one).
+// Replicas lists the endpoints in preference order; every API call tries
+// the first healthy one and fails over on transport errors (timeouts,
+// resets, refused connections — the signature of a censor blackholing the
+// primary's IP). An HTTP error status is a server answer, not
+// unreachability, and never triggers failover. Failed endpoints are
+// retried after ReplicaCooldown.
 type Client struct {
-	Addr  string // server "ip:port" (or "host:port" for hostname-capable dialers)
-	Host  string // Host header value
-	Clock *vtime.Clock
+	Addr string // server "ip:port" (or "host:port" for hostname-capable dialers)
+	// Replicas is the replica set in preference order. Empty means Addr is
+	// the only endpoint. When non-empty it replaces Addr entirely (list
+	// Addr first to keep it primary).
+	Replicas []string
+	Host     string // Host header value
+	Clock    *vtime.Clock
 	// ReportDial carries report traffic (Tor in the paper's deployment);
 	// FetchDial carries registration and list downloads.
 	ReportDial netem.DialFunc
 	FetchDial  netem.DialFunc
 	// Timeout bounds each API call (virtual); default 30s.
 	Timeout time.Duration
+	// ReplicaCooldown is how long a failed endpoint sits out before being
+	// retried (virtual); default 5m.
+	ReplicaCooldown time.Duration
+	// Trace, when set, records a span per failed-over API call on the
+	// "repl" lane.
+	Trace *trace.Tracer
 
-	mu      sync.Mutex
-	uuid    string
-	blocked map[int]*blockedCache // per-AS conditional-fetch cache
+	mu         sync.Mutex
+	uuid       string
+	blocked    map[int]*blockedCache // per-AS conditional-fetch cache
+	down       map[string]time.Time  // endpoint → retry-at (virtual)
+	lastServed string
+	seq        uint64
+	stats      ClientStats
+}
+
+// ClientStats counts the client's sync-path outcomes.
+type ClientStats struct {
+	FetchFull   int // 200 full-body list fetches
+	FetchDelta  int // 200 delta-encoded list fetches
+	Fetch304    int // 304 not-modified answers
+	ListBytes   int // list bytes received (full + delta bodies)
+	Failovers   int // API calls served by a non-first-preference endpoint
+	ReplicaDown int // healthy→down endpoint transitions observed
 }
 
 // blockedCache is one AS's last successfully fetched list plus the server's
@@ -48,6 +82,13 @@ func (c *Client) timeout() time.Duration {
 	return 30 * time.Second
 }
 
+func (c *Client) cooldown() time.Duration {
+	if c.ReplicaCooldown > 0 {
+		return c.ReplicaCooldown
+	}
+	return 5 * time.Minute
+}
+
 // UUID returns the registered identity, or "".
 func (c *Client) UUID() string {
 	c.mu.Lock()
@@ -62,9 +103,122 @@ func (c *Client) SetUUID(u string) {
 	c.uuid = u
 }
 
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// LastServed returns the endpoint that answered the most recent successful
+// call, or "".
+func (c *Client) LastServed() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastServed
+}
+
+func (c *Client) endpoints() []string {
+	if len(c.Replicas) > 0 {
+		return c.Replicas
+	}
+	return []string{c.Addr}
+}
+
+// attemptOrder returns the endpoints to try: healthy ones first in
+// preference order, then cooling-down ones (soonest retry first) as a last
+// resort — a client never refuses to try just because everything recently
+// failed.
+func (c *Client) attemptOrder(eps []string) []string {
+	now := c.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	healthy := make([]string, 0, len(eps))
+	var cooling []string
+	for _, ep := range eps {
+		if until, bad := c.down[ep]; bad && now.Before(until) {
+			cooling = append(cooling, ep)
+		} else {
+			healthy = append(healthy, ep)
+		}
+	}
+	return append(healthy, cooling...)
+}
+
+func (c *Client) markDown(ep string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down == nil {
+		c.down = make(map[string]time.Time)
+	}
+	if until, bad := c.down[ep]; !bad || c.Clock.Now().After(until) {
+		c.stats.ReplicaDown++
+	}
+	c.down[ep] = c.Clock.Now().Add(c.cooldown())
+}
+
+func (c *Client) noteServed(ep string, failedOver bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, ep)
+	c.lastServed = ep
+	if failedOver {
+		c.stats.Failovers++
+	}
+}
+
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
 func (c *Client) do(ctx context.Context, dial netem.DialFunc, req *httpx.Request) (*httpx.Response, error) {
 	hc := &httpx.Client{Dial: dial, Clock: c.Clock, Timeout: c.timeout()}
-	return hc.Do(ctx, c.Addr, req)
+	eps := c.endpoints()
+	if len(eps) == 1 {
+		resp, err := hc.Do(ctx, eps[0], req)
+		if err == nil {
+			c.noteServed(eps[0], false)
+		}
+		return resp, err
+	}
+	var sp *trace.Span
+	if c.Trace != nil {
+		sp = c.Trace.Start("globaldb", c.nextSeq(), req.Target)
+	}
+	var lastErr error
+	for _, ep := range c.attemptOrder(eps) {
+		if err := ctx.Err(); err != nil {
+			lastErr = err
+			break
+		}
+		if sp != nil {
+			sp.Event("repl", "attempt", ep)
+		}
+		resp, err := hc.Do(ctx, ep, req)
+		if err == nil {
+			c.noteServed(ep, ep != eps[0])
+			if sp != nil {
+				sp.Event("repl", "served", ep)
+				sp.Finish("globaldb", "ok", nil)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		c.markDown(ep)
+		if sp != nil {
+			sp.Event("repl", "down", ep)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("globaldb: no endpoints")
+	}
+	if sp != nil {
+		sp.Finish("globaldb", "error", lastErr)
+	}
+	return nil, lastErr
 }
 
 // Register solves the CAPTCHA (the token models the user's solution) and
@@ -129,17 +283,20 @@ func (c *Client) Report(ctx context.Context, recs []localdb.Record) (int, error)
 
 // FetchBlocked downloads the blocked-URL list for an AS. Fetches are
 // conditional: the client remembers the server's validator tag per AS and
-// sends it as If-None-Match, and a 304 answer reuses the cached entries
-// without transferring or re-decoding the list — at fleet scale most sync
-// rounds hit a converged list, and the decode is the dominant sync cost.
-// The returned slice may be shared with that cache: callers must not
+// sends it as If-None-Match. A 304 answer reuses the cached entries; a
+// delta-encoded 200 (DeltaHeader set) carries only the entries changed
+// since the cached tag and is merged locally; a plain 200 replaces the
+// cache — including downgrading the cached tag to "" when the serving
+// store offers none (a failover to a tagless backend must not leave a
+// stale tag that a later tagged backend could spuriously match).
+// The returned slice may be shared with the cache: callers must not
 // mutate it or the Stages slices inside.
 func (c *Client) FetchBlocked(ctx context.Context, asn int) ([]Entry, error) {
 	c.mu.Lock()
 	cached := c.blocked[asn]
 	c.mu.Unlock()
 	req := httpx.NewRequest("GET", c.Host, fmt.Sprintf("%s?asn=%d", PathFetch, asn))
-	if cached != nil {
+	if cached != nil && cached.tag != "" {
 		req.Header.Set("If-None-Match", cached.tag)
 	}
 	resp, err := c.do(ctx, c.FetchDial, req)
@@ -147,24 +304,54 @@ func (c *Client) FetchBlocked(ctx context.Context, asn int) ([]Entry, error) {
 		return nil, fmt.Errorf("globaldb: fetch: %w", err)
 	}
 	if resp.StatusCode == 304 && cached != nil {
+		c.mu.Lock()
+		c.stats.Fetch304++
+		c.mu.Unlock()
 		return cached.entries, nil
 	}
 	if resp.StatusCode != 200 {
 		return nil, fmt.Errorf("globaldb: fetch: %d %s", resp.StatusCode, resp.Body)
 	}
+	tag := resp.Header.Get("ETag")
+	if resp.Header.Get(DeltaHeader) == DeltaEncoding {
+		if cached == nil {
+			return nil, fmt.Errorf("globaldb: delta response without a cached base")
+		}
+		var dr DeltaResponse
+		if err := json.Unmarshal(resp.Body, &dr); err != nil {
+			return nil, err
+		}
+		if dr.Since != cached.tag {
+			return nil, fmt.Errorf("globaldb: delta base %q, cached %q", dr.Since, cached.tag)
+		}
+		entries := mergeDelta(cached.entries, dr.Changed, dr.Removed)
+		c.storeList(asn, tag, entries, len(resp.Body), true)
+		return entries, nil
+	}
 	var fr FetchResponse
 	if err := json.Unmarshal(resp.Body, &fr); err != nil {
 		return nil, err
 	}
-	if tag := resp.Header.Get("ETag"); tag != "" {
-		c.mu.Lock()
-		if c.blocked == nil {
-			c.blocked = make(map[int]*blockedCache)
-		}
-		c.blocked[asn] = &blockedCache{tag: tag, entries: fr.Entries}
-		c.mu.Unlock()
-	}
+	c.storeList(asn, tag, fr.Entries, len(resp.Body), false)
 	return fr.Entries, nil
+}
+
+// storeList replaces an AS's cache after a 200 answer. The cache always
+// tracks the last answer — tag "" included — so a tag from one backend can
+// never be replayed against another that has moved past it.
+func (c *Client) storeList(asn int, tag string, entries []Entry, bodyLen int, delta bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blocked == nil {
+		c.blocked = make(map[int]*blockedCache)
+	}
+	c.blocked[asn] = &blockedCache{tag: tag, entries: entries}
+	c.stats.ListBytes += bodyLen
+	if delta {
+		c.stats.FetchDelta++
+	} else {
+		c.stats.FetchFull++
+	}
 }
 
 // FetchStats downloads the server's aggregate statistics.

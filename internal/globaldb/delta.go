@@ -1,0 +1,163 @@
+package globaldb
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Versioned delta sync. Each AS index remembers the change set between
+// consecutive snapshot builds, keyed by the validator tag the previous
+// snapshot was served under. A conditional fetch whose If-None-Match tag is
+// still in that history gets a DeltaResponse — only the entries that changed
+// since the client's snapshot — instead of the full list, so the bytes per
+// sync round stay flat once the blocked-URL universe converges. Tags not in
+// the history (too old, from another store, or never served) fall back to
+// the full body; correctness never depends on the history being long enough.
+
+// deltaHistoryMax caps the per-AS edit history. Sixty-four observed
+// snapshot transitions cover many sync intervals of drift for a slow
+// client; anything older pays one full-body fetch and re-enters the
+// delta path with a fresh tag.
+const deltaHistoryMax = 64
+
+// deltaEdit is the change set from the snapshot served under tag from to
+// the next built snapshot. changed holds new or modified entries (sorted by
+// URL, like the snapshots they diff); removed holds URLs that disappeared.
+type deltaEdit struct {
+	from    string
+	changed []Entry
+	removed []string
+}
+
+// recordEditLocked appends the old→new change set to idx's history. Caller
+// holds idx.snapMu. Empty edits are recorded too: they keep the tag chain
+// unbroken so a client holding fromTag can still be served a delta after a
+// rebuild that changed nothing (e.g. a version bump that re-aggregated to
+// the same list).
+func (idx *asIndex) recordEditLocked(fromTag string, old, new []Entry) {
+	changed, removed := diffEntries(old, new)
+	idx.history = append(idx.history, deltaEdit{from: fromTag, changed: changed, removed: removed})
+	if len(idx.history) > deltaHistoryMax {
+		// Copy the tail so the dropped head doesn't pin the backing array.
+		idx.history = append([]deltaEdit(nil), idx.history[len(idx.history)-deltaHistoryMax:]...)
+	}
+}
+
+// diffEntries walks two URL-sorted entry slices and returns the entries of
+// new that are absent-or-different in old, plus the URLs of old absent from
+// new.
+func diffEntries(old, new []Entry) (changed []Entry, removed []string) {
+	i, j := 0, 0
+	for i < len(old) || j < len(new) {
+		switch {
+		case j >= len(new) || (i < len(old) && old[i].URL < new[j].URL):
+			removed = append(removed, old[i].URL)
+			i++
+		case i >= len(old) || new[j].URL < old[i].URL:
+			changed = append(changed, new[j])
+			j++
+		default:
+			if !entryEqual(old[i], new[j]) {
+				changed = append(changed, new[j])
+			}
+			i++
+			j++
+		}
+	}
+	return changed, removed
+}
+
+func entryEqual(a, b Entry) bool {
+	if a.URL != b.URL || a.ASN != b.ASN || a.Votes != b.Votes ||
+		a.Reporters != b.Reporters || !a.LastTp.Equal(b.LastTp) {
+		return false
+	}
+	if (a.Stages == nil) != (b.Stages == nil) || len(a.Stages) != len(b.Stages) {
+		return false
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// deltaBodyLocked builds the marshaled DeltaResponse for a client at tag
+// inm, or nil when the tag is not in the history or the delta would not be
+// smaller than the current full body. Caller holds idx.snapMu (the history
+// and idx.body are read in the same critical section that rebuilt them, so
+// the delta is exact for the tag pair it names).
+func (idx *asIndex) deltaBodyLocked(inm string) []byte {
+	start := -1
+	for i := range idx.history {
+		if idx.history[i].from == inm {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	// Fold the edit suffix: later edits win per URL, and a URL cannot end up
+	// in both sets.
+	changed := make(map[string]Entry)
+	removed := make(map[string]bool)
+	for _, e := range idx.history[start:] {
+		for _, c := range e.changed {
+			changed[c.URL] = c
+			delete(removed, c.URL)
+		}
+		for _, u := range e.removed {
+			removed[u] = true
+			delete(changed, u)
+		}
+	}
+	dr := DeltaResponse{ASN: idx.asn, Since: inm}
+	urls := make([]string, 0, len(changed))
+	for u := range changed {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		dr.Changed = append(dr.Changed, changed[u])
+	}
+	for u := range removed {
+		dr.Removed = append(dr.Removed, u)
+	}
+	sort.Strings(dr.Removed)
+	body, err := json.Marshal(dr)
+	if err != nil || len(body) >= len(idx.body) {
+		return nil
+	}
+	return body
+}
+
+// mergeDelta applies a DeltaResponse to a URL-sorted base list and returns
+// a fresh URL-sorted result equal to the server's current full list. Used
+// by Client; base is never mutated.
+func mergeDelta(base []Entry, changed []Entry, removed []string) []Entry {
+	rm := make(map[string]bool, len(removed))
+	for _, u := range removed {
+		rm[u] = true
+	}
+	out := make([]Entry, 0, len(base)+len(changed))
+	i, j := 0, 0
+	for i < len(base) || j < len(changed) {
+		switch {
+		case j >= len(changed) || (i < len(base) && base[i].URL < changed[j].URL):
+			if !rm[base[i].URL] {
+				out = append(out, base[i])
+			}
+			i++
+		case i >= len(base) || changed[j].URL < base[i].URL:
+			out = append(out, changed[j])
+			j++
+		default:
+			out = append(out, changed[j])
+			i++
+			j++
+		}
+	}
+	return out
+}

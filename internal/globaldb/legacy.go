@@ -103,14 +103,18 @@ func (s *legacyStore) blockedForAS(asn int) []Entry {
 }
 
 // fetchResponse re-marshals on every call and has no cheap change detector,
-// so it never offers a validator tag: conditional fetches always get the
-// full body from this store.
-func (s *legacyStore) fetchResponse(asn int, _ string) ([]byte, string, bool) {
+// so it never offers a validator tag: the result carries tag "" and the
+// full body, regardless of the caller's If-None-Match value. The inm
+// parameter is deliberately ignored rather than compared — a client that
+// cached a non-empty tag from a previous (sharded) store must get a fresh
+// full body here, never a spurious 304 that would freeze its list across a
+// store swap or a failover to a tagless backend.
+func (s *legacyStore) fetchResponse(asn int, _ string) fetchResult {
 	b, err := json.Marshal(FetchResponse{ASN: asn, Entries: s.blockedForAS(asn)})
 	if err != nil {
-		return []byte("{}"), "", false
+		return fetchResult{body: []byte("{}")}
 	}
-	return b, "", false
+	return fetchResult{body: b}
 }
 
 func sortEntries(es []Entry) {

@@ -1,0 +1,201 @@
+// Package replica implements asynchronous replication for the global DB
+// (§5: blocking access to the global_DB is countered by moving it — here,
+// by running several of it). A primary built with
+// globaldb.StoreOptions{Replicated: true} streams its write-ahead log
+// through an in-memory feed; each Follower runs its own globaldb.Server on
+// another emulated host and pulls framed WAL records over plain HTTP
+// (GET /v1/repl), applying them in order. Because the log records mutation
+// requests and both sides apply them through the same store paths, a
+// caught-up follower converges to the primary's exact state — including
+// the validator tags behind conditional fetches, so a client failing over
+// mid-sync keeps its delta chain.
+//
+// Replication is pull-based and carries the follower's acknowledgement for
+// free: pulling from sequence N acks everything below N, and the primary's
+// feed stats report per-follower lag without extra round trips.
+//
+// A follower also fronts the full client API (Handler): reads are served
+// from its local store; writes (registration, reports) are forwarded to
+// the primary, which remains the single writer. Forwarding means the
+// primary's registration rate limiter sees the follower's IP as the
+// source for forwarded registrations — fine for the emulated scenarios,
+// where clients register before any failover, but a real deployment would
+// propagate the original source.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"csaw/internal/globaldb"
+	"csaw/internal/globaldb/storage"
+	"csaw/internal/httpx"
+	"csaw/internal/netem"
+	"csaw/internal/trace"
+	"csaw/internal/vtime"
+)
+
+// defaultMaxBytes bounds one pull's payload.
+const defaultMaxBytes = 1 << 20
+
+// Follower replicates a primary's WAL stream into a local server.
+type Follower struct {
+	// Name identifies the follower in the primary's lag stats.
+	Name string
+	// Server is the local store the stream is applied into (and, via
+	// Handler, the read side served to clients).
+	Server *globaldb.Server
+	// PrimaryAddr/PrimaryHost locate the primary; Dial is the follower
+	// host's dialer.
+	PrimaryAddr string
+	PrimaryHost string
+	Dial        netem.DialFunc
+	Clock       *vtime.Clock
+	// Timeout bounds each pull (virtual); default 30s.
+	Timeout time.Duration
+	// MaxBytes bounds one pull's payload; default 1 MiB.
+	MaxBytes int
+	// Trace, when set, records one span per pull on the "repl" lane.
+	Trace *trace.Tracer
+
+	mu      sync.Mutex
+	offset  uint64
+	applied int64
+	lastErr error
+	seq     uint64
+}
+
+func (f *Follower) timeout() time.Duration {
+	if f.Timeout > 0 {
+		return f.Timeout
+	}
+	return 30 * time.Second
+}
+
+// Offset returns the next sequence this follower will pull from (= records
+// applied since attach).
+func (f *Follower) Offset() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.offset
+}
+
+// Err returns the most recent pull error, cleared by a successful pull.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+func (f *Follower) nextSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	return f.seq
+}
+
+// SyncOnce pulls one batch from the primary and applies it. caughtUp is
+// true when the follower reached the head the primary reported in this
+// pull's response.
+func (f *Follower) SyncOnce(ctx context.Context) (applied int, caughtUp bool, err error) {
+	if f.Trace != nil {
+		sp := f.Trace.Start(f.Name, f.nextSeq(), globaldb.PathRepl)
+		defer func() {
+			sp.EventNum("repl", "applied", "", float64(applied))
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			sp.Finish("replica", status, err)
+		}()
+	}
+	f.mu.Lock()
+	from := f.offset
+	f.mu.Unlock()
+	maxBytes := f.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxBytes
+	}
+	target := fmt.Sprintf("%s?from=%d&follower=%s&max=%d", globaldb.PathRepl, from, f.Name, maxBytes)
+	req := httpx.NewRequest("GET", f.PrimaryHost, target)
+	hc := &httpx.Client{Dial: f.Dial, Clock: f.Clock, Timeout: f.timeout()}
+	resp, err := hc.Do(ctx, f.PrimaryAddr, req)
+	if err != nil {
+		return 0, false, f.fail(fmt.Errorf("replica: pull: %w", err))
+	}
+	if resp.StatusCode != 200 {
+		return 0, false, f.fail(fmt.Errorf("replica: pull: %d %s", resp.StatusCode, resp.Body))
+	}
+	next, err := strconv.ParseUint(resp.Header.Get(globaldb.ReplNextHeader), 10, 64)
+	if err != nil {
+		return 0, false, f.fail(fmt.Errorf("replica: bad next header: %w", err))
+	}
+	head, err := strconv.ParseUint(resp.Header.Get(globaldb.ReplHeadHeader), 10, 64)
+	if err != nil {
+		return 0, false, f.fail(fmt.Errorf("replica: bad head header: %w", err))
+	}
+	if _, err := storage.Replay(bytes.NewReader(resp.Body), func(rec *storage.Record) error {
+		f.Server.Apply(rec)
+		applied++
+		return nil
+	}); err != nil {
+		// A truncated or corrupt batch would desync the offset from what was
+		// actually applied; refuse it rather than guessing.
+		return applied, false, f.fail(fmt.Errorf("replica: batch at %d: %w", from+uint64(applied), err))
+	}
+	if uint64(applied) != next-from {
+		return applied, false, f.fail(fmt.Errorf("replica: applied %d records, primary advanced %d", applied, next-from))
+	}
+	f.mu.Lock()
+	f.offset = next
+	f.applied += int64(applied)
+	f.lastErr = nil
+	f.mu.Unlock()
+	return applied, next >= head, nil
+}
+
+func (f *Follower) fail(err error) error {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+	return err
+}
+
+// Handler fronts the full client API on the follower: GETs (list fetches,
+// stats) are served from the local replica; everything else (registration,
+// reports) is forwarded to the primary over the follower's dialer.
+func (f *Follower) Handler() httpx.Handler {
+	local := f.Server.Handler()
+	return httpx.HandlerFunc(func(req *httpx.Request, flow netem.Flow) *httpx.Response {
+		if req.Method == "GET" {
+			return local.ServeHTTP(req, flow)
+		}
+		fwd := httpx.NewRequest(req.Method, f.PrimaryHost, req.Target)
+		for k, vs := range req.Header {
+			for _, v := range vs {
+				fwd.Header.Add(k, v)
+			}
+		}
+		fwd.Body = req.Body
+		hc := &httpx.Client{Dial: f.Dial, Clock: f.Clock, Timeout: f.timeout()}
+		resp, err := hc.Do(context.Background(), f.PrimaryAddr, fwd)
+		if err != nil {
+			return httpx.NewResponse(502, []byte("primary unreachable: "+err.Error()))
+		}
+		return resp
+	})
+}
+
+// Attach serves the client API (Handler) on host:port.
+func (f *Follower) Attach(host *netem.Host, port int) error {
+	l, err := host.Listen(port)
+	if err != nil {
+		return err
+	}
+	httpx.Serve(l, f.Handler())
+	return nil
+}

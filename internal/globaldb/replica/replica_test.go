@@ -1,0 +1,296 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"csaw/internal/globaldb"
+	"csaw/internal/httpx"
+	"csaw/internal/localdb"
+	"csaw/internal/netem"
+	"csaw/internal/vtime"
+)
+
+// replWorld builds a primary with a replication feed on 40.0.0.1 plus two
+// followers on hosts in other worldgen-style regions, and returns everything
+// a test needs to drive and observe them.
+type replWorld struct {
+	n         *netem.Network
+	clock     *vtime.Clock
+	primary   *globaldb.Server
+	followers []*Follower
+	set       *Set
+	clientPK  *netem.Host
+}
+
+func newReplWorld(t *testing.T) *replWorld {
+	t.Helper()
+	clock := vtime.New(1000)
+	n := netem.New(clock, netem.WithSeed(41), netem.WithJitter(0))
+	pk := n.AddAS(100, "ISP", "PK")
+	cloud := n.AddAS(900, "Cloud", "US")
+	for _, pair := range [][2]string{{"pk", "us"}, {"pk", "nl"}, {"pk", "de"}, {"us", "nl"}, {"us", "de"}} {
+		n.SetRTT(pair[0], pair[1], 100*time.Millisecond)
+	}
+
+	primary, err := globaldb.NewDurableServer(clock, nil, globaldb.StoreOptions{Replicated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Attach(n.MustAddHost("gdb-primary", "40.0.0.1", "us", cloud), 80); err != nil {
+		t.Fatal(err)
+	}
+
+	regions := []string{"nl", "de"}
+	followers := make([]*Follower, 2)
+	for i := range followers {
+		host := n.MustAddHost(fmt.Sprintf("gdb-replica-%d", i), fmt.Sprintf("40.0.1.%d", i+1), regions[i], cloud)
+		f := &Follower{
+			Name:        fmt.Sprintf("replica-%d", i),
+			Server:      globaldb.NewServer(clock, nil),
+			PrimaryAddr: "40.0.0.1:80",
+			PrimaryHost: "globaldb.example",
+			Dial:        host.Dial,
+			Clock:       clock,
+		}
+		if err := f.Attach(host, 80); err != nil {
+			t.Fatal(err)
+		}
+		followers[i] = f
+	}
+	return &replWorld{
+		n: n, clock: clock, primary: primary, followers: followers,
+		set:      &Set{Followers: followers, Clock: clock, Interval: 10 * time.Second},
+		clientPK: n.MustAddHost("client", "10.0.0.1", "pk", pk),
+	}
+}
+
+func (w *replWorld) client(addr string, addrs ...string) *globaldb.Client {
+	return &globaldb.Client{
+		Addr: addr, Replicas: addrs, Host: "globaldb.example",
+		Clock: w.clock, ReportDial: w.clientPK.Dial, FetchDial: w.clientPK.Dial,
+		Timeout: 5 * time.Second,
+	}
+}
+
+// rawFetch GETs /v1/blocked directly so the test can compare wire bytes and
+// validator tags across primary and followers.
+func (w *replWorld) rawFetch(t *testing.T, addr string, asn int) (body []byte, tag string) {
+	t.Helper()
+	hc := &httpx.Client{Dial: w.clientPK.Dial, Clock: w.clock, Timeout: 5 * time.Second}
+	req := httpx.NewRequest("GET", "globaldb.example", fmt.Sprintf("%s?asn=%d", globaldb.PathFetch, asn))
+	resp, err := hc.Do(context.Background(), addr, req)
+	if err != nil {
+		t.Fatalf("raw fetch %s: %v", addr, err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("raw fetch %s: %d %s", addr, resp.StatusCode, resp.Body)
+	}
+	return resp.Body, resp.Header.Get("ETag")
+}
+
+func seedReports(t *testing.T, c *globaldb.Client, urls ...string) {
+	t.Helper()
+	if err := c.Register(context.Background(), "human-ok"); err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]localdb.Record, 0, len(urls))
+	for _, u := range urls {
+		recs = append(recs, localdb.Record{
+			URL: u, ASN: 100, Status: localdb.Blocked,
+			Stages: []localdb.Stage{{Type: localdb.BlockDNS, Detail: "nxdomain"}},
+		})
+	}
+	if n, err := c.Report(context.Background(), recs); err != nil || n != len(urls) {
+		t.Fatalf("report = %d, %v", n, err)
+	}
+}
+
+// TestFollowerConvergesByteIdentical is the replication pin: after a sync
+// round, each follower serves byte-identical /v1/blocked bodies under the
+// same validator tags as the primary — a failing-over client's conditional
+// fetch state stays valid.
+func TestFollowerConvergesByteIdentical(t *testing.T) {
+	w := newReplWorld(t)
+	seedReports(t, w.client("40.0.0.1:80"), "a.example/", "b.example/", "c.example/")
+
+	if err := w.set.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wantBody, wantTag := w.rawFetch(t, "40.0.0.1:80", 100)
+	if wantTag == "" {
+		t.Fatal("primary served no validator tag")
+	}
+	for i, addr := range []string{"40.0.1.1:80", "40.0.1.2:80"} {
+		body, tag := w.rawFetch(t, addr, 100)
+		if string(body) != string(wantBody) {
+			t.Fatalf("replica %d body diverges:\n got %s\nwant %s", i, body, wantBody)
+		}
+		if tag != wantTag {
+			t.Fatalf("replica %d tag %q, want %q", i, tag, wantTag)
+		}
+	}
+	for i, f := range w.followers {
+		if f.Err() != nil {
+			t.Fatalf("replica %d latched error: %v", i, f.Err())
+		}
+	}
+}
+
+// TestFeedLagStats pins the ack-for-free protocol: pulling from offset N
+// acknowledges everything below N, so lag shows up one round late and
+// settles to zero once the followers pull again at the head.
+func TestFeedLagStats(t *testing.T) {
+	w := newReplWorld(t)
+	seedReports(t, w.client("40.0.0.1:80"), "a.example/", "b.example/")
+
+	feed := w.primary.ReplicationFeed()
+	if feed == nil {
+		t.Fatal("primary has no replication feed")
+	}
+	head := feed.Head()
+	if head == 0 {
+		t.Fatal("no records in the feed after reports")
+	}
+	if st := Lag(feed); st.MaxLag != head || len(st.Followers) != 0 {
+		// No follower has pulled yet: stats list nobody. MaxLag over zero
+		// followers is 0 by construction, so assert the follower list only.
+		if len(st.Followers) != 0 {
+			t.Fatalf("stats before any pull: %+v", st)
+		}
+	}
+
+	if err := w.set.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// First round: each follower applied everything but its ack still rides
+	// the next pull.
+	st := Lag(feed)
+	if len(st.Followers) != 2 {
+		t.Fatalf("stats followers = %+v", st.Followers)
+	}
+	for _, f := range st.Followers {
+		if f.Acked != 0 || f.Lag != head {
+			t.Fatalf("after first round: %+v, want acked 0 (ack rides the next pull)", f)
+		}
+	}
+	if got := w.set.Offsets(); got[0] != head || got[1] != head {
+		t.Fatalf("offsets = %v, want both at head %d", got, head)
+	}
+
+	// Second round: the from=head pulls ack the full history.
+	if err := w.set.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st = Lag(feed)
+	if st.MaxLag != 0 {
+		t.Fatalf("stats after ack round: %+v, want zero lag", st)
+	}
+	for _, f := range st.Followers {
+		if f.Acked != head {
+			t.Fatalf("follower ack %+v, want %d", f, head)
+		}
+	}
+}
+
+// TestFollowerForwardsWrites pins the follower's API front: reads are
+// answered locally, writes travel to the primary and come back via
+// replication.
+func TestFollowerForwardsWrites(t *testing.T) {
+	w := newReplWorld(t)
+	// The client only ever talks to follower 0.
+	c := w.client("40.0.1.1:80")
+	seedReports(t, w.client("40.0.1.1:80"), "via-follower.example/")
+
+	if st := w.primary.StatsSnapshot(); st.Users == 0 || st.Updates != 1 {
+		t.Fatalf("primary stats = %+v, want the forwarded registration and report", st)
+	}
+	// Before replication the follower's local store is empty...
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("follower served %+v before any sync", entries)
+	}
+	// ...and one sync round later the forwarded write is readable locally.
+	if err := w.set.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].URL != "via-follower.example/" {
+		t.Fatalf("follower list after sync = %+v", entries)
+	}
+}
+
+// TestClientFailoverToReplica pins the end-to-end §5 scenario: the censor
+// blackholes the primary; a replica-set client fails over to a follower and
+// — because replication preserves tags — its cached validator still 304s.
+func TestClientFailoverToReplica(t *testing.T) {
+	w := newReplWorld(t)
+	seedReports(t, w.client("40.0.0.1:80"), "a.example/", "b.example/")
+	if err := w.set.SyncAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	c := w.client("", "40.0.0.1:80", "40.0.1.1:80", "40.0.1.2:80")
+	if _, err := c.FetchBlocked(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastServed(); got != "40.0.0.1:80" {
+		t.Fatalf("served by %q, want the primary first", got)
+	}
+
+	w.primary.Faults().SetDrop(true)
+	w.primary.Faults().SetOutage(true)
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("failover to replica failed: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("replica served %+v", entries)
+	}
+	if got := c.LastServed(); got != "40.0.1.1:80" {
+		t.Fatalf("served by %q, want the first follower", got)
+	}
+	st := c.Stats()
+	if st.Failovers != 1 || st.ReplicaDown != 1 {
+		t.Fatalf("client stats = %+v", st)
+	}
+	if st.Fetch304 != 1 {
+		t.Fatalf("client stats = %+v: the primary's tag should 304 on a caught-up follower", st)
+	}
+}
+
+// TestSetBackgroundLoop drives the ticker-based loops under virtual time:
+// new primary writes land on the followers within one interval.
+func TestSetBackgroundLoop(t *testing.T) {
+	w := newReplWorld(t)
+	seedReports(t, w.client("40.0.0.1:80"), "a.example/")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w.set.Start(ctx)
+	defer w.set.Stop()
+
+	// Let virtual time flow until both loops have drained the feed (the
+	// scaled clock keeps the goroutines running while we sleep virtually).
+	head := w.primary.ReplicationFeed().Head()
+	deadline := w.clock.Now().Add(5 * time.Minute)
+	for w.followers[0].Offset() < head || w.followers[1].Offset() < head {
+		if w.clock.Now().After(deadline) {
+			t.Fatalf("background loops never caught up: offsets %v, head %d", w.set.Offsets(), head)
+		}
+		w.clock.Sleep(time.Second)
+	}
+	body, tag := w.rawFetch(t, "40.0.0.1:80", 100)
+	got, gotTag := w.rawFetch(t, "40.0.1.1:80", 100)
+	if string(got) != string(body) || gotTag != tag {
+		t.Fatalf("background sync diverged: %q/%q vs %q/%q", got, gotTag, body, tag)
+	}
+}

@@ -1,0 +1,114 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"csaw/internal/globaldb/storage"
+	"csaw/internal/vtime"
+)
+
+// Set drives a group of followers against one primary: a background loop
+// per follower pulls every Interval until caught up, and SyncAll offers a
+// deterministic foreground pump for discrete-event experiments that want
+// replication to quiesce at a known virtual instant.
+type Set struct {
+	Followers []*Follower
+	Clock     *vtime.Clock
+	// Interval is the pull cadence (virtual); default 30s.
+	Interval time.Duration
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+func (s *Set) interval() time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return 30 * time.Second
+}
+
+// Start launches the background pull loops. Stop (or ctx cancellation)
+// ends them.
+func (s *Set) Start(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	s.cancel = cancel
+	s.mu.Unlock()
+	for _, f := range s.Followers {
+		s.wg.Add(1)
+		go s.loop(ctx, f)
+	}
+}
+
+func (s *Set) loop(ctx context.Context, f *Follower) {
+	defer s.wg.Done()
+	tk := s.Clock.NewTicker(s.interval())
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			s.drain(ctx, f)
+		}
+	}
+}
+
+// drain pulls until the follower is caught up or a pull fails (the error
+// stays latched in the follower for the next Stats reader; the loop
+// retries on the next tick).
+func (s *Set) drain(ctx context.Context, f *Follower) {
+	for {
+		_, caughtUp, err := f.SyncOnce(ctx)
+		if err != nil || caughtUp {
+			return
+		}
+	}
+}
+
+// Stop halts the background loops and waits for them to exit.
+func (s *Set) Stop() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.cancel = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.wg.Wait()
+}
+
+// SyncAll pumps every follower to the primary's current head and returns
+// the first pull error, if any. Deterministic: followers sync in slice
+// order, so same-seed runs replicate in the same order.
+func (s *Set) SyncAll(ctx context.Context) error {
+	for _, f := range s.Followers {
+		for {
+			_, caughtUp, err := f.SyncOnce(ctx)
+			if err != nil {
+				return err
+			}
+			if caughtUp {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Offsets reports each follower's replication offset, in Followers order.
+func (s *Set) Offsets() []uint64 {
+	out := make([]uint64, len(s.Followers))
+	for i, f := range s.Followers {
+		out[i] = f.Offset()
+	}
+	return out
+}
+
+// Lag returns the primary-side feed stats (per-follower acknowledged
+// offsets and worst lag) given the primary's feed.
+func Lag(feed *storage.Feed) storage.FeedStats { return feed.Stats() }

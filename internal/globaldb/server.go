@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"csaw/internal/globaldb/storage"
 	"csaw/internal/httpx"
 	"csaw/internal/localdb"
 	"csaw/internal/netem"
@@ -36,6 +37,7 @@ type Server struct {
 	captcha CaptchaVerifier
 	faults  FaultPolicy
 	store   store
+	durable *durableStore // non-nil when built by NewDurableServer
 
 	mu           sync.Mutex // guards the registration state below
 	uuidSeq      uint64
@@ -45,17 +47,60 @@ type Server struct {
 
 // NewServer creates a server. A nil verifier selects DefaultCaptcha.
 func NewServer(clock *vtime.Clock, captcha CaptchaVerifier) *Server {
+	return newServerWith(clock, captcha, newShardedStore(), nil)
+}
+
+// NewDurableServer creates a server whose store write-ahead-logs every
+// mutation under o.Dir (see StoreOptions): kill it at any point and a new
+// NewDurableServer over the same directory recovers the exact state —
+// byte-identical /v1/blocked bodies and the same validator tags. With
+// o.Replicated it also serves the replication feed on PathRepl for
+// followers (see the replica package).
+func NewDurableServer(clock *vtime.Clock, captcha CaptchaVerifier, o StoreOptions) (*Server, error) {
+	d, err := newDurableStore(o)
+	if err != nil {
+		return nil, err
+	}
+	return newServerWith(clock, captcha, d, d), nil
+}
+
+func newServerWith(clock *vtime.Clock, captcha CaptchaVerifier, st store, d *durableStore) *Server {
 	if captcha == nil {
 		captcha = DefaultCaptcha
 	}
 	return &Server{
 		clock:        clock,
 		captcha:      captcha,
-		store:        newShardedStore(),
+		store:        st,
+		durable:      d,
 		regByIP:      make(map[string][]time.Time),
 		lastRegSweep: clock.Now(),
 	}
 }
+
+// Close flushes and closes the durable backend (no-op for in-memory
+// servers), returning any latched durability error.
+func (s *Server) Close() error {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.close()
+}
+
+// ReplicationFeed returns the replication stream when the server was built
+// with StoreOptions.Replicated, else nil.
+func (s *Server) ReplicationFeed() *storage.Feed {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.feed
+}
+
+// Apply replays one replicated record through the store. Followers call
+// this for every record pulled from the primary; applying the primary's
+// log in order converges the follower to the primary's exact state,
+// including validator tags.
+func (s *Server) Apply(rec *storage.Record) { applyRecord(s.store, rec) }
 
 // Faults exposes the server's fault-injection policy (experiments flip it
 // at runtime to model outages and flaky paths).
@@ -90,6 +135,8 @@ func (s *Server) Handler() httpx.Handler {
 			return s.handleReport(req)
 		case req.Method == "GET" && path == PathFetch:
 			return s.handleFetch(req)
+		case req.Method == "GET" && path == PathRepl:
+			return s.handleRepl(req)
 		case req.Method == "GET" && path == PathStats:
 			return jsonResponse(200, s.StatsSnapshot())
 		default:
@@ -183,29 +230,71 @@ func (s *Server) handleReport(req *httpx.Request) *httpx.Response {
 	return jsonResponse(200, ReportResponse{Accepted: accepted})
 }
 
-func (s *Server) handleFetch(req *httpx.Request) *httpx.Response {
-	asn := 0
-	if i := strings.Index(req.Target, "asn="); i >= 0 {
-		v := req.Target[i+4:]
-		if j := strings.IndexByte(v, '&'); j >= 0 {
-			v = v[:j]
-		}
-		asn, _ = strconv.Atoi(v)
+// queryParam extracts one query parameter from a request target, or "".
+func queryParam(target, key string) string {
+	i := strings.Index(target, key+"=")
+	if i < 0 {
+		return ""
 	}
+	v := target[i+len(key)+1:]
+	if j := strings.IndexByte(v, '&'); j >= 0 {
+		v = v[:j]
+	}
+	return v
+}
+
+func (s *Server) handleFetch(req *httpx.Request) *httpx.Response {
+	asn, _ := strconv.Atoi(queryParam(req.Target, "asn"))
 	if asn == 0 {
 		return httpx.NewResponse(400, []byte("missing asn"))
 	}
-	body, tag, notModified := s.store.fetchResponse(asn, req.Header.Get("If-None-Match"))
-	if notModified {
+	fr := s.store.fetchResponse(asn, req.Header.Get("If-None-Match"))
+	if fr.notModified {
 		resp := httpx.NewResponse(304, nil)
-		resp.Header.Set("ETag", tag)
+		resp.Header.Set("ETag", fr.tag)
 		return resp
 	}
-	resp := httpx.NewResponse(200, body)
+	resp := httpx.NewResponse(200, fr.body)
 	resp.Header.Set("Content-Type", "application/json")
-	if tag != "" {
-		resp.Header.Set("ETag", tag)
+	if fr.tag != "" {
+		resp.Header.Set("ETag", fr.tag)
 	}
+	if fr.delta {
+		resp.Header.Set(DeltaHeader, DeltaEncoding)
+	}
+	return resp
+}
+
+// replMaxBytes caps one replication pull's payload when the follower does
+// not ask for a bound.
+const replMaxBytes = 1 << 20
+
+// handleRepl serves a replication pull: framed WAL records starting at
+// from, at most max bytes (at least one record when any is available). The
+// follower's previous offset doubles as its acknowledgement — pulling from
+// N means everything below N was applied — so lag tracking needs no extra
+// round trip.
+func (s *Server) handleRepl(req *httpx.Request) *httpx.Response {
+	feed := s.ReplicationFeed()
+	if feed == nil {
+		return httpx.NewResponse(404, []byte("replication not enabled"))
+	}
+	from, err := strconv.ParseUint(queryParam(req.Target, "from"), 10, 64)
+	if err != nil {
+		return httpx.NewResponse(400, []byte("bad from"))
+	}
+	maxBytes := replMaxBytes
+	if m, err := strconv.Atoi(queryParam(req.Target, "max")); err == nil && m > 0 {
+		maxBytes = m
+	}
+	if follower := queryParam(req.Target, "follower"); follower != "" {
+		feed.Ack(follower, from)
+	}
+	data, next := feed.ReadFrom(from, maxBytes)
+	resp := httpx.NewResponse(200, data)
+	resp.Header.Set("Content-Type", "application/octet-stream")
+	resp.Header.Set(ReplNextHeader, strconv.FormatUint(next, 10))
+	resp.Header.Set(ReplHeadHeader, strconv.FormatUint(feed.Head(), 10))
 	return resp
 }
 

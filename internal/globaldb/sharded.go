@@ -76,13 +76,17 @@ type asIndex struct {
 	byURL map[string]map[string]indexed // url → uuid → report
 
 	// Snapshot cache. snapMu also serializes rebuilds so concurrent fetchers
-	// of a dirty AS do the aggregation once.
+	// of a dirty AS do the aggregation once, and guards the delta history:
+	// recording an edit and serving a delta happen in the same critical
+	// section as the rebuild, so a delta body is always paired with the tag
+	// of the snapshot it was computed against.
 	snapMu  sync.Mutex
 	snapVer int64
 	snapRev int64
 	valid   bool
 	entries []Entry
 	body    []byte
+	history []deltaEdit
 }
 
 // indexed pairs a report with its owner's state so aggregation can read the
@@ -233,12 +237,32 @@ func (s *shardedStore) blockedForAS(asn int) []Entry {
 	return out
 }
 
-func (s *shardedStore) fetchResponse(asn int, inm string) ([]byte, string, bool) {
-	_, body, tag := s.snapshot(asn)
-	if inm != "" && inm == tag {
-		return nil, tag, true
+func (s *shardedStore) fetchResponse(asn int, inm string) fetchResult {
+	rev := s.revEpoch.Load()
+	idx := s.asIndexFor(asn, false)
+	if idx == nil {
+		// No reports yet: version 0. The tag still varies with the
+		// revocation epoch so it can never collide with a post-write tag.
+		tag := snapTag(0, rev)
+		if inm != "" && inm == tag {
+			return fetchResult{tag: tag, notModified: true}
+		}
+		return fetchResult{body: emptyFetchBody(asn), tag: tag}
 	}
-	return body, tag, false
+	ver := idx.version.Load()
+	idx.snapMu.Lock()
+	defer idx.snapMu.Unlock()
+	s.rebuildLocked(idx, ver, rev)
+	tag := snapTag(idx.snapVer, idx.snapRev)
+	if inm != "" {
+		if inm == tag {
+			return fetchResult{tag: tag, notModified: true}
+		}
+		if body := idx.deltaBodyLocked(inm); body != nil {
+			return fetchResult{body: body, tag: tag, delta: true}
+		}
+	}
+	return fetchResult{body: idx.body, tag: tag}
 }
 
 // snapshot returns the cached aggregation for asn, rebuilding it only when a
@@ -249,8 +273,6 @@ func (s *shardedStore) snapshot(asn int) ([]Entry, []byte, string) {
 	rev := s.revEpoch.Load()
 	idx := s.asIndexFor(asn, false)
 	if idx == nil {
-		// No reports yet: version 0. The tag still varies with the
-		// revocation epoch so it can never collide with a post-write tag.
 		return nil, emptyFetchBody(asn), snapTag(0, rev)
 	}
 	// Load the version before reading index data: a write landing between
@@ -259,18 +281,28 @@ func (s *shardedStore) snapshot(asn int) ([]Entry, []byte, string) {
 	ver := idx.version.Load()
 	idx.snapMu.Lock()
 	defer idx.snapMu.Unlock()
+	s.rebuildLocked(idx, ver, rev)
+	return idx.entries, idx.body, snapTag(idx.snapVer, idx.snapRev)
+}
+
+// rebuildLocked brings idx's snapshot cache up to (ver, rev), recording the
+// change set against the previous snapshot in the delta history. No-op when
+// the cache is already at that state. Caller holds idx.snapMu.
+func (s *shardedStore) rebuildLocked(idx *asIndex, ver, rev int64) {
 	if idx.valid && idx.snapVer == ver && idx.snapRev == rev {
-		return idx.entries, idx.body, snapTag(idx.snapVer, idx.snapRev)
+		return
 	}
 	s.rebuilds.Add(1)
 	entries := s.aggregate(idx)
-	body, err := json.Marshal(FetchResponse{ASN: asn, Entries: entries})
+	body, err := json.Marshal(FetchResponse{ASN: idx.asn, Entries: entries})
 	if err != nil {
-		body = emptyFetchBody(asn)
+		body = emptyFetchBody(idx.asn)
+	}
+	if idx.valid {
+		idx.recordEditLocked(snapTag(idx.snapVer, idx.snapRev), idx.entries, entries)
 	}
 	idx.entries, idx.body = entries, body
 	idx.snapVer, idx.snapRev, idx.valid = ver, rev, true
-	return entries, body, snapTag(ver, rev)
 }
 
 // snapTag renders a snapshot's (version, revocation epoch) as the ETag
@@ -329,8 +361,12 @@ func (s *shardedStore) aggregate(idx *asIndex) []Entry {
 	return entries
 }
 
+// emptyFetchBody is the no-entries body. Entries is an empty slice, not
+// nil, so the bytes match what the legacy store serves for the same AS
+// ("entries":[]) — the store conformance suite compares bodies across
+// backends byte-for-byte.
 func emptyFetchBody(asn int) []byte {
-	b, _ := json.Marshal(FetchResponse{ASN: asn})
+	b, _ := json.Marshal(FetchResponse{ASN: asn, Entries: []Entry{}})
 	return b
 }
 

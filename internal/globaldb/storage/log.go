@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Log is an append-only write-ahead log of framed records. Appends are
+// flushed to the file before returning, so state recovered after an
+// in-simulation "kill" (close the store, reopen from disk) contains every
+// acknowledged mutation. The Log itself is not goroutine-safe; the durable
+// store serializes appends under its write mutex, which is also what fixes
+// the replay order.
+type Log struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	buf  []byte // scratch for encode+frame, reused across appends
+	recs int64  // records appended since open (not lifetime)
+}
+
+// OpenLog opens (creating if needed) the log at path for appending.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		closeErr := f.Close()
+		return nil, fmt.Errorf("storage: seek log end: %v (close: %v)", err, closeErr)
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append encodes, frames, writes and flushes one record.
+func (l *Log) Append(rec *Record) error {
+	l.buf = l.buf[:0]
+	payload := EncodeRecord(l.buf, rec)
+	l.buf = payload // keep the grown buffer for reuse
+	framed := AppendFrame(nil, payload)
+	if _, err := l.w.Write(framed); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.recs++
+	return nil
+}
+
+// Records reports how many records were appended since open.
+func (l *Log) Records() int64 { return l.recs }
+
+// Size returns the current log file size in bytes.
+func (l *Log) Size() (int64, error) {
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Truncate cuts the log to n bytes. Recovery truncates away a torn tail so
+// later appends continue from the last good frame; compaction truncates to
+// zero after writing a snapshot.
+func (l *Log) Truncate(n int64) error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(n); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(n, 0)
+	return err
+}
+
+// Close flushes and closes the file.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil {
+		closeErr := l.f.Close()
+		return fmt.Errorf("storage: flush log: %v (close: %v)", err, closeErr)
+	}
+	return l.f.Close()
+}
+
+// ReplayFile opens path and replays its records through fn, returning the
+// byte offset of the end of the last good frame. A missing file replays
+// zero records. The tail error follows Replay's contract: nil for a clean
+// end, ErrCorrupt-wrapped for a torn or corrupted tail (the caller should
+// truncate to good and continue), anything else from fn.
+func ReplayFile(path string, fn func(*Record) error) (good int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	good, replayErr := Replay(bufio.NewReader(f), fn)
+	if closeErr := f.Close(); replayErr == nil && closeErr != nil {
+		return good, closeErr
+	}
+	return good, replayErr
+}

@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// snapshotMagic versions the snapshot file format. Bump it on incompatible
+// State changes; ReadSnapshot rejects files with a different header rather
+// than misparsing them.
+const snapshotMagic = "CSAWSNAP1\n"
+
+// State is the full store state a snapshot captures. Every slice is sorted
+// (users by UUID, reports by their dedup key, AS versions by ASN) so a
+// snapshot is a deterministic function of store contents.
+type State struct {
+	Users    []UserState `json:"users"`
+	Updates  int64       `json:"updates"`
+	RevEpoch int64       `json:"rev_epoch"`
+	// ASVersions preserves each AS index's version counter. Restoring the
+	// exact counters (instead of recomputing) is what keeps ETags — which
+	// name a (version, revocation-epoch) pair — stable across a restart.
+	ASVersions []ASVersion `json:"as_versions"`
+}
+
+// UserState is one registered client's snapshot.
+type UserState struct {
+	UUID    string         `json:"uuid"`
+	Revoked bool           `json:"revoked,omitempty"`
+	Reports []StoredReport `json:"reports,omitempty"`
+}
+
+// StoredReport is one stored measurement; Tm and Tp are UnixNano.
+type StoredReport struct {
+	URL    string  `json:"url"`
+	ASN    int     `json:"asn"`
+	Stages []Stage `json:"stages,omitempty"`
+	Tm     int64   `json:"tm"`
+	Tp     int64   `json:"tp"`
+}
+
+// ASVersion records one AS index's version counter.
+type ASVersion struct {
+	ASN     int   `json:"asn"`
+	Version int64 `json:"version"`
+}
+
+// WriteSnapshot atomically writes st to path: the bytes go to a temp file
+// in the same directory which is then renamed over path, so a reader never
+// observes a half-written snapshot. Layout: magic, uint32 LE payload
+// length, uint32 LE CRC32 of the payload, JSON payload.
+func WriteSnapshot(path string, st *State) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(snapshotMagic)+frameHeaderLen+len(payload))
+	buf = append(buf, snapshotMagic...)
+	buf = AppendFrame(buf, payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		closeErr := tmp.Close()
+		removeErr := os.Remove(tmpName)
+		return fmt.Errorf("storage: write snapshot: %v (close: %v, remove: %v)", err, closeErr, removeErr)
+	}
+	if err := tmp.Close(); err != nil {
+		removeErr := os.Remove(tmpName)
+		return fmt.Errorf("storage: close snapshot: %v (remove: %v)", err, removeErr)
+	}
+	return os.Rename(tmpName, path)
+}
+
+// ReadSnapshot reads and validates the snapshot at path. A missing file
+// returns (nil, nil): recovery starts from an empty store.
+func ReadSnapshot(path string) (*State, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(b) < len(snapshotMagic)+frameHeaderLen || string(b[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	b = b[len(snapshotMagic):]
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	payload := b[frameHeaderLen:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("%w: snapshot length %d != header %d", ErrCorrupt, len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	st := &State{}
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("%w: snapshot json: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,267 @@
+// Package storage is the global DB's durability and replication substrate:
+// a write-ahead log of length-prefixed, checksummed mutation records, a
+// versioned snapshot codec for compaction, and an in-memory replication
+// feed the primary streams records from.
+//
+// The package deliberately defines its own wire structs instead of reusing
+// globaldb's (globaldb imports storage, not the other way around). All
+// timestamps are explicit int64 UnixNano values: virtual-time instants
+// serialize exactly, so replaying a log reproduces byte-identical
+// aggregation output. Decoders restore them with time.Unix(0, n).UTC() —
+// the vtime clock hands out UTC instants, and a Local-zone round trip
+// would change the JSON bodies the server serves.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record kinds, one per store mutation. The values are part of the on-disk
+// format and must not be renumbered.
+const (
+	KindAddUser byte = 1
+	KindIngest  byte = 2
+	KindRevoke  byte = 3
+)
+
+// Stage mirrors one detection stage of a report.
+type Stage struct {
+	Type   int
+	Detail string
+}
+
+// Report is one blocked-URL measurement inside an ingest record. Tm is the
+// client's measurement time as UnixNano.
+type Report struct {
+	URL    string
+	ASN    int
+	Stages []Stage
+	Tm     int64
+}
+
+// Record is one logged store mutation. Now is the server's (virtual) ingest
+// time as UnixNano; it is meaningful only for KindIngest, where replay must
+// reuse the original time rather than the clock at recovery.
+type Record struct {
+	Kind    byte
+	UUID    string
+	Now     int64
+	Reports []Report
+}
+
+// ErrCorrupt marks a frame or record that failed validation. Replay stops
+// cleanly at the first such frame; callers distinguish it from an apply
+// error with errors.Is.
+var ErrCorrupt = errors.New("storage: corrupt record")
+
+// maxFrame bounds a frame's payload so a corrupted length field cannot ask
+// the reader to allocate gigabytes before the checksum gets a chance to
+// reject it.
+const maxFrame = 1 << 26
+
+// frameHeaderLen is the length prefix plus the CRC32 of the payload.
+const frameHeaderLen = 8
+
+// EncodeRecord appends rec's binary encoding to dst and returns the
+// extended slice. The layout is kind byte, then uvarint-length-prefixed
+// strings and varint integers; every field is written unconditionally so
+// the encoding is a pure function of the record.
+func EncodeRecord(dst []byte, rec *Record) []byte {
+	dst = append(dst, rec.Kind)
+	dst = appendString(dst, rec.UUID)
+	dst = binary.AppendVarint(dst, rec.Now)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Reports)))
+	for _, r := range rec.Reports {
+		dst = appendString(dst, r.URL)
+		dst = binary.AppendVarint(dst, int64(r.ASN))
+		dst = binary.AppendVarint(dst, r.Tm)
+		// Stage counts are shifted by one so nil (0) and empty-but-present
+		// (1) stay distinct: Entry.Stages marshals without omitempty, so a
+		// replay that collapsed []Stage{} to nil would flip "stages":[] to
+		// "stages":null in served bodies and break byte-identity.
+		if r.Stages == nil {
+			dst = binary.AppendUvarint(dst, 0)
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(r.Stages))+1)
+		for _, st := range r.Stages {
+			dst = binary.AppendVarint(dst, int64(st.Type))
+			dst = appendString(dst, st.Detail)
+		}
+	}
+	return dst
+}
+
+// DecodeRecord parses one record payload. It rejects unknown kinds,
+// truncated fields, and trailing garbage — a flipped bit that survives the
+// frame CRC (or a handcrafted payload, as in the fuzz target) must produce
+// an error, never a half-read record.
+func DecodeRecord(p []byte) (*Record, error) {
+	d := decoder{buf: p}
+	rec := &Record{Kind: d.byte()}
+	switch rec.Kind {
+	case KindAddUser, KindIngest, KindRevoke:
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, rec.Kind)
+	}
+	rec.UUID = d.string()
+	rec.Now = d.varint()
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(p)) {
+		// More reports than bytes remaining: a corrupt count. Guarding here
+		// bounds the allocation below.
+		return nil, fmt.Errorf("%w: report count %d exceeds payload", ErrCorrupt, n)
+	}
+	if n > 0 && d.err == nil {
+		rec.Reports = make([]Report, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r := Report{URL: d.string(), ASN: int(d.varint()), Tm: d.varint()}
+		ns := d.uvarint()
+		if d.err == nil && ns > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: stage count %d exceeds payload", ErrCorrupt, ns)
+		}
+		if ns > 0 && d.err == nil {
+			// ns-1 stages follow; ns == 1 restores an empty non-nil slice.
+			r.Stages = make([]Stage, 0, ns-1)
+			for j := uint64(1); j < ns && d.err == nil; j++ {
+				r.Stages = append(r.Stages, Stage{Type: int(d.varint()), Detail: d.string()})
+			}
+		}
+		rec.Reports = append(rec.Reports, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return rec, nil
+}
+
+// AppendFrame wraps payload in the log frame format — uint32 LE length,
+// uint32 LE CRC32 (IEEE) of the payload, payload — and appends it to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Replay decodes framed records from r, invoking fn for each in order. It
+// returns the number of bytes consumed by complete valid frames. A nil
+// error means the stream ended exactly on a frame boundary; an error
+// wrapping ErrCorrupt means the stream was cut or corrupted after good
+// bytes (a torn tail after a crash, a flipped bit, a zero-length frame) —
+// replay stops cleanly at that point and nothing after it is applied. Any
+// other error came from fn and aborts the replay.
+func Replay(r io.Reader, fn func(*Record) error) (good int64, err error) {
+	var hdr [frameHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return good, nil
+			}
+			return good, fmt.Errorf("%w: torn frame header: %v", ErrCorrupt, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 {
+			return good, fmt.Errorf("%w: zero-length frame", ErrCorrupt)
+		}
+		if n > maxFrame {
+			return good, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, n)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, fmt.Errorf("%w: torn frame payload: %v", ErrCorrupt, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return good, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return good, err
+		}
+		if err := fn(rec); err != nil {
+			return good, err
+		}
+		good += frameHeaderLen + int64(n)
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decoder is a cursor over a record payload that latches the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s", ErrCorrupt, what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}

@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleRecords() []*Record {
+	return []*Record{
+		{Kind: KindAddUser, UUID: "user-a"},
+		{Kind: KindIngest, UUID: "user-a", Now: 1511568000 * int64(1e9), Reports: []Report{
+			{URL: "blocked.example/", ASN: 17557, Tm: 1511567000 * int64(1e9),
+				Stages: []Stage{{Type: 1, Detail: "redirect"}, {Type: 3, Detail: "blockpage"}}},
+			{URL: "other.example/x", ASN: 45595, Tm: -1, Stages: nil},
+			{URL: "third.example/", ASN: 45595, Tm: 0, Stages: []Stage{}},
+		}},
+		{Kind: KindRevoke, UUID: "user-a"},
+		{Kind: KindIngest, UUID: "user-b", Now: 42, Reports: nil},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		enc := EncodeRecord(nil, rec)
+		got, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d: round trip mismatch:\n got %+v\nwant %+v", i, got, rec)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	enc := EncodeRecord(nil, &Record{Kind: KindAddUser, UUID: "u"})
+	if _, err := DecodeRecord(append(enc, 0xff)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	enc := EncodeRecord(nil, &Record{Kind: KindAddUser, UUID: "u"})
+	enc[0] = 99
+	if _, err := DecodeRecord(enc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown kind: got %v, want ErrCorrupt", err)
+	}
+}
+
+func replayAll(t *testing.T, b []byte) (recs []*Record, good int64, err error) {
+	t.Helper()
+	good, err = Replay(bytes.NewReader(b), func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	return recs, good, err
+}
+
+func framed(recs []*Record) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = AppendFrame(b, EncodeRecord(nil, r))
+	}
+	return b
+}
+
+func TestReplayCleanStream(t *testing.T) {
+	want := sampleRecords()
+	b := framed(want)
+	got, good, err := replayAll(t, b)
+	if err != nil {
+		t.Fatalf("clean stream: %v", err)
+	}
+	if good != int64(len(b)) {
+		t.Fatalf("good = %d, want %d", good, len(b))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ")
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	want := sampleRecords()
+	b := framed(want)
+	for cut := 1; cut < 12; cut++ {
+		torn := b[:len(b)-cut]
+		got, good, err := replayAll(t, torn)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: err = %v, want ErrCorrupt", cut, err)
+		}
+		if len(got) != len(want)-1 {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), len(want)-1)
+		}
+		if good <= 0 || good >= int64(len(b)) {
+			t.Fatalf("cut %d: good offset %d out of range", cut, good)
+		}
+	}
+}
+
+func TestReplayStopsAtBitFlip(t *testing.T) {
+	want := sampleRecords()
+	b := framed(want)
+	// Flip a payload bit inside the second frame: records before it replay,
+	// nothing at or after it does.
+	first := frameHeaderLen + len(EncodeRecord(nil, want[0]))
+	flip := append([]byte(nil), b...)
+	flip[first+frameHeaderLen+2] ^= 0x40
+	got, good, err := replayAll(t, flip)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+	if len(got) != 1 || good != int64(first) {
+		t.Fatalf("bit flip: replayed %d records to offset %d, want 1 to %d", len(got), good, first)
+	}
+}
+
+func TestReplayStopsAtZeroLengthFrame(t *testing.T) {
+	b := framed(sampleRecords()[:1])
+	b = append(b, make([]byte, frameHeaderLen)...) // length 0, CRC 0
+	got, good, err := replayAll(t, b)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-length frame: err = %v, want ErrCorrupt", err)
+	}
+	if len(got) != 1 || good != int64(len(framed(sampleRecords()[:1]))) {
+		t.Fatalf("zero-length frame: replayed %d records to %d", len(got), good)
+	}
+}
+
+func TestLogAppendReplayTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Records() != int64(len(want)) {
+		t.Fatalf("Records() = %d, want %d", l.Records(), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn tail, then verify recovery semantics: replay stops at
+	// the damage, truncation removes it, and appending continues cleanly.
+	if err := os.WriteFile(path, append(readFile(t, path), 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Record
+	good, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn log tail: err = %v, want ErrCorrupt", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn log lost good records")
+	}
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Truncate(good); err != nil {
+		t.Fatal(err)
+	}
+	extra := &Record{Kind: KindAddUser, UUID: "user-c"}
+	if err := l2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if _, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatalf("after truncate+append: %v", err)
+	}
+	if !reflect.DeepEqual(got, append(append([]*Record(nil), want...), extra)) {
+		t.Fatalf("post-recovery log contents differ")
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestReplayFileMissing(t *testing.T) {
+	good, err := ReplayFile(filepath.Join(t.TempDir(), "nope"), func(*Record) error {
+		t.Fatal("fn called for missing file")
+		return nil
+	})
+	if good != 0 || err != nil {
+		t.Fatalf("missing file: good=%d err=%v", good, err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot")
+	st := &State{
+		Users: []UserState{
+			{UUID: "a", Reports: []StoredReport{
+				{URL: "u/", ASN: 1, Tm: 5, Tp: 9, Stages: []Stage{{Type: 2, Detail: "rst"}}},
+			}},
+			{UUID: "b", Revoked: true},
+		},
+		Updates:    7,
+		RevEpoch:   3,
+		ASVersions: []ASVersion{{ASN: 1, Version: 12}},
+	}
+	if err := WriteSnapshot(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("snapshot round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestSnapshotMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := ReadSnapshot(filepath.Join(dir, "none")); st != nil || err != nil {
+		t.Fatalf("missing snapshot: %v %v", st, err)
+	}
+	path := filepath.Join(dir, "snap")
+	if err := WriteSnapshot(path, &State{Updates: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := readFile(t, path)
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFeedReadAck(t *testing.T) {
+	f := NewFeed()
+	recs := sampleRecords()
+	for _, r := range recs {
+		f.Append(r)
+	}
+	if f.Head() != uint64(len(recs)) {
+		t.Fatalf("Head = %d, want %d", f.Head(), len(recs))
+	}
+
+	// Read everything from 0 and verify the frames replay to the originals.
+	data, next := f.ReadFrom(0, 1<<20)
+	if next != uint64(len(recs)) {
+		t.Fatalf("next = %d, want %d", next, len(recs))
+	}
+	var got []*Record
+	if _, err := Replay(bytes.NewReader(data), func(r *Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("feed frames differ from appended records")
+	}
+
+	// A tiny byte budget still makes progress one record at a time.
+	data, next = f.ReadFrom(1, 1)
+	if len(data) == 0 || next != 2 {
+		t.Fatalf("bounded read: %d bytes, next %d", len(data), next)
+	}
+
+	f.Ack("f1", 2)
+	f.Ack("f2", uint64(len(recs)))
+	f.Ack("f1", 1) // acks never regress
+	st := f.Stats()
+	if st.Head != uint64(len(recs)) || st.MaxLag != uint64(len(recs))-2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.Followers) != 2 || st.Followers[0].Name != "f1" || st.Followers[0].Acked != 2 {
+		t.Fatalf("followers: %+v", st.Followers)
+	}
+
+	// Reading past head is a no-op positioned at head.
+	if data, next := f.ReadFrom(99, 10); data != nil || next != uint64(len(recs)) {
+		t.Fatalf("past-head read: %v %d", data, next)
+	}
+}

@@ -18,18 +18,30 @@ type store interface {
 	ingest(uuid string, now time.Time, reports []Report) (accepted int, ok bool)
 	// blockedForAS returns the aggregated entries for an AS, sorted by URL.
 	blockedForAS(asn int) []Entry
-	// fetchResponse returns the marshaled FetchResponse body for an AS — the
-	// exact bytes /v1/blocked serves — plus a validator tag for conditional
-	// fetches. When the caller's If-None-Match tag (inm) still names the
-	// current aggregation, notModified is true and body is nil: at fleet
-	// scale most sync rounds hit a converged list, and skipping the body
-	// skips the client-side JSON decode that otherwise dominates sync cost.
-	// Stores without cheap versioning return tag "" (never notModified).
-	fetchResponse(asn int, inm string) (body []byte, tag string, notModified bool)
+	// fetchResponse serves /v1/blocked for an AS, conditional on the
+	// caller's If-None-Match tag (inm). See fetchResult for the contract.
+	fetchResponse(asn int, inm string) fetchResult
 	// revoke invalidates a uuid's vote (§5).
 	revoke(uuid string)
 	// stats aggregates the Table-7 numbers.
 	stats() Stats
+}
+
+// fetchResult is one /v1/blocked answer. When the caller's If-None-Match
+// tag still names the current aggregation, notModified is set and body is
+// nil: at fleet scale most sync rounds hit a converged list, and skipping
+// the body skips the client-side JSON decode that otherwise dominates sync
+// cost. When the tag is stale but still in the AS's recorded edit history,
+// delta is set and body is a marshaled DeltaResponse carrying only the
+// entries that changed since that tag (served only when it is actually
+// smaller than the full body). Otherwise body is the full marshaled
+// FetchResponse. Stores without cheap versioning return tag "" and never
+// set notModified or delta.
+type fetchResult struct {
+	body        []byte
+	tag         string
+	notModified bool
+	delta       bool
 }
 
 // clientReport is one stored (url, asn) measurement. Records are immutable

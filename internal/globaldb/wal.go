@@ -1,0 +1,231 @@
+package globaldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"csaw/internal/globaldb/storage"
+)
+
+// StoreOptions selects the server's storage backend.
+type StoreOptions struct {
+	// Dir is the durability directory holding the write-ahead log and
+	// snapshots. Empty disables the on-disk log: mutations are applied (and,
+	// when Replicated, streamed) but nothing survives a restart.
+	Dir string
+	// SnapshotEvery compacts after this many logged records: the store state
+	// is written as a snapshot and the log truncated, bounding both recovery
+	// time and log size. 0 selects the default (4096); negative disables
+	// compaction.
+	SnapshotEvery int
+	// Replicated attaches an in-memory replication feed mirroring every
+	// logged record, served on PathRepl for followers to pull.
+	Replicated bool
+}
+
+const (
+	defaultSnapshotEvery = 4096
+	walFileName          = "wal.log"
+	snapshotFileName     = "snapshot"
+)
+
+// durableStore wraps the sharded store with write-ahead logging: every
+// mutation request is logged (and streamed to the replication feed) before
+// it is applied, so replaying snapshot + log tail reproduces the exact
+// store state — including the dedup-aware updates counter and the version
+// counters behind validator tags. The log records requests, not effects: a
+// no-op request (duplicate report, ingest for an unknown uuid) replays to
+// the same no-op because replay preserves order.
+//
+// Durability is fail-stop: if an append or compaction fails, the error is
+// latched, logging stops, and the in-memory store keeps serving. Err
+// surfaces the latched error so operators (and tests) can tell a durable
+// run from a degraded one.
+type durableStore struct {
+	mu    sync.Mutex // serializes mutations with their log appends
+	inner *shardedStore
+	log   *storage.Log
+	feed  *storage.Feed
+	dir   string
+
+	snapshotEvery int
+	sinceSnap     int
+	recovered     int64 // log records replayed at open, observable in tests
+	lastErr       error
+}
+
+// newDurableStore opens (or creates) the store at o.Dir, recovering state
+// from the newest snapshot plus the log tail. A corrupt log tail (torn
+// write from a crash) is truncated at the last valid record; any other
+// error aborts the open.
+func newDurableStore(o StoreOptions) (*durableStore, error) {
+	d := &durableStore{dir: o.Dir, snapshotEvery: o.SnapshotEvery}
+	if d.snapshotEvery == 0 {
+		d.snapshotEvery = defaultSnapshotEvery
+	}
+	if o.Replicated {
+		d.feed = storage.NewFeed()
+	}
+	if o.Dir == "" {
+		d.inner = newShardedStore()
+		return d, nil
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	st, err := storage.ReadSnapshot(d.snapPath())
+	if err != nil {
+		return nil, fmt.Errorf("globaldb: recover snapshot: %w", err)
+	}
+	if st != nil {
+		d.inner = newShardedFromState(st)
+	} else {
+		d.inner = newShardedStore()
+	}
+	good, err := storage.ReplayFile(d.walPath(), func(rec *storage.Record) error {
+		applyRecord(d.inner, rec)
+		d.recovered++
+		return nil
+	})
+	if err != nil && !errors.Is(err, storage.ErrCorrupt) {
+		return nil, fmt.Errorf("globaldb: replay wal: %w", err)
+	}
+	torn := err != nil
+	d.log, err = storage.OpenLog(d.walPath())
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		if err := d.log.Truncate(good); err != nil {
+			closeErr := d.log.Close()
+			return nil, fmt.Errorf("globaldb: truncate torn wal: %v (close: %v)", err, closeErr)
+		}
+	}
+	d.sinceSnap = int(d.recovered)
+	return d, nil
+}
+
+func (d *durableStore) walPath() string  { return filepath.Join(d.dir, walFileName) }
+func (d *durableStore) snapPath() string { return filepath.Join(d.dir, snapshotFileName) }
+
+// applyRecord replays one logged mutation through the normal store paths.
+// Shared by WAL recovery and follower replication, so a replica converges
+// to the primary's exact state (ingest return values are meaningless during
+// replay — the original caller is long gone).
+func applyRecord(s store, rec *storage.Record) {
+	switch rec.Kind {
+	case storage.KindAddUser:
+		s.addUser(rec.UUID)
+	case storage.KindIngest:
+		s.ingest(rec.UUID, timeOf(rec.Now), reportsFromStorage(rec.Reports))
+	case storage.KindRevoke:
+		s.revoke(rec.UUID)
+	}
+}
+
+// record logs one mutation (and mirrors it to the feed) before the caller
+// applies it. Caller holds d.mu.
+func (d *durableStore) record(rec *storage.Record) {
+	if d.feed != nil {
+		d.feed.Append(rec)
+	}
+	if d.log == nil || d.lastErr != nil {
+		return
+	}
+	if err := d.log.Append(rec); err != nil {
+		d.lastErr = err
+		return
+	}
+	d.sinceSnap++
+}
+
+// maybeCompactLocked compacts when the log grew past the snapshot cadence.
+// Called after the triggering mutation has been applied — compacting from
+// record() would snapshot state that misses the mutation whose record the
+// truncation is about to drop. Caller holds d.mu.
+func (d *durableStore) maybeCompactLocked() {
+	if d.log == nil || d.lastErr != nil || d.snapshotEvery <= 0 || d.sinceSnap < d.snapshotEvery {
+		return
+	}
+	d.compactLocked()
+}
+
+// compactLocked writes the current state as a snapshot and truncates the
+// log. The snapshot rename is atomic and the log is only truncated after
+// the snapshot landed, so a crash between the two replays the (now
+// redundant) log tail onto the snapshot — reapplying an ingest is
+// idempotent thanks to the dedup key. Caller holds d.mu.
+func (d *durableStore) compactLocked() {
+	if err := storage.WriteSnapshot(d.snapPath(), d.inner.exportState()); err != nil {
+		d.lastErr = err
+		return
+	}
+	if err := d.log.Truncate(0); err != nil {
+		d.lastErr = err
+		return
+	}
+	d.sinceSnap = 0
+}
+
+// Err returns the latched durability error, if any.
+func (d *durableStore) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastErr
+}
+
+func (d *durableStore) close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return d.lastErr
+	}
+	if err := d.log.Close(); err != nil {
+		return err
+	}
+	d.log = nil
+	return d.lastErr
+}
+
+func (d *durableStore) addUser(uuid string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.record(&storage.Record{Kind: storage.KindAddUser, UUID: uuid})
+	d.inner.addUser(uuid)
+	d.maybeCompactLocked()
+}
+
+func (d *durableStore) ingest(uuid string, now time.Time, reports []Report) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.record(&storage.Record{
+		Kind: storage.KindIngest, UUID: uuid, Now: nanoOf(now),
+		Reports: reportsToStorage(reports),
+	})
+	n, ok := d.inner.ingest(uuid, now, reports)
+	d.maybeCompactLocked()
+	return n, ok
+}
+
+func (d *durableStore) revoke(uuid string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.record(&storage.Record{Kind: storage.KindRevoke, UUID: uuid})
+	d.inner.revoke(uuid)
+	d.maybeCompactLocked()
+}
+
+// Reads delegate to the sharded store without d.mu: its own sharded locks
+// already make reads safe against concurrent (logged) writes.
+
+func (d *durableStore) blockedForAS(asn int) []Entry { return d.inner.blockedForAS(asn) }
+
+func (d *durableStore) fetchResponse(asn int, inm string) fetchResult {
+	return d.inner.fetchResponse(asn, inm)
+}
+
+func (d *durableStore) stats() Stats { return d.inner.stats() }

@@ -192,6 +192,7 @@ func (w *World) LightApproaches(host *netem.Host) []*core.Approach {
 func (w *World) LightClientConfig(host *netem.Host, seed int64) core.Config {
 	gdb := &globaldb.Client{
 		Addr:       w.GlobalDBAddr,
+		Replicas:   w.clientEndpoints(),
 		Host:       GlobalDBHost,
 		Clock:      w.Clock,
 		ReportDial: host.Dial,

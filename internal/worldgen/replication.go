@@ -1,0 +1,111 @@
+package worldgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csaw/internal/censor"
+	"csaw/internal/globaldb/storage"
+)
+
+// Replication plumbing for worlds built with Options.GlobalDBReplicas, plus
+// the replica-loss censor epoch: the §5 scenario where the censor
+// blackholes the primary's IP mid-run and clients must fail over to a
+// follower within one sync round.
+
+// clientEndpoints is what a client's Replicas field should carry: the full
+// endpoint set when the world runs replicas, nil otherwise (Addr alone then
+// names the single server, keeping single-server worlds on the zero-cost
+// fast path).
+func (w *World) clientEndpoints() []string {
+	if len(w.GlobalDBEndpoints) <= 1 {
+		return nil
+	}
+	return w.GlobalDBEndpoints
+}
+
+// StartReplication launches the background pull loops for the world's
+// followers. No-op without replicas. Stop with StopReplication (or cancel
+// ctx).
+func (w *World) StartReplication(ctx context.Context) {
+	if w.ReplicaSet != nil {
+		w.ReplicaSet.Start(ctx)
+	}
+}
+
+// StopReplication halts the background pull loops and waits for them.
+func (w *World) StopReplication() {
+	if w.ReplicaSet != nil {
+		w.ReplicaSet.Stop()
+	}
+}
+
+// SyncReplicas pumps every follower to the primary's current head — the
+// deterministic foreground alternative to StartReplication for
+// discrete-event experiments that want replication quiesced at a known
+// virtual instant. No-op without replicas.
+func (w *World) SyncReplicas(ctx context.Context) error {
+	if w.ReplicaSet == nil {
+		return nil
+	}
+	return w.ReplicaSet.SyncAll(ctx)
+}
+
+// ReplicationLag returns the primary-side feed stats (per-follower
+// acknowledged offsets, worst lag). Zero value without replicas.
+func (w *World) ReplicationLag() storage.FeedStats {
+	feed := w.GlobalDB.ReplicationFeed()
+	if feed == nil {
+		return storage.FeedStats{}
+	}
+	return feed.Stats()
+}
+
+// ReplicaLossPolicies returns the two epoch policies of the replica-loss
+// scenario, derived from the ISP's standing policy: epoch 0 keeps it
+// unchanged, epoch 1 additionally blackholes the global DB primary's IP
+// (drops the SYN, so clients see a timeout — the real-world signature of an
+// IP blacklisted by the censor, per the Turkmenistan study). The standing
+// URL-blocking rules survive the flip: the censor targets the aggregation
+// infrastructure on top of, not instead of, its content policy. Follower
+// IPs stay reachable: the point is that the crowd's knowledge survives the
+// loss of the hosted endpoint.
+func ReplicaLossPolicies(base *censor.Policy) (clean, loss *censor.Policy) {
+	if base == nil {
+		base = &censor.Policy{}
+	}
+	clean = base
+	l := *base
+	l.Name = "replica-loss"
+	if base.Name != "" {
+		l.Name = base.Name + "+replica-loss"
+	}
+	ip := make(map[string]censor.IPAction, len(base.IP)+1)
+	for k, v := range base.IP {
+		ip[k] = v
+	}
+	ip[GlobalDBIP] = censor.IPDrop
+	l.IP = ip
+	return clean, &l
+}
+
+// ArmReplicaLoss installs the replica-loss schedule on an ISP's censor:
+// the standing policy from now, the same policy plus a blackholed primary
+// from now+after. Returns the schedule for reports. The world must be
+// running replicas, or every client loses the DB outright when the epoch
+// flips.
+func (w *World) ArmReplicaLoss(isp *ISP, seed int64, after time.Duration) ([]censor.Epoch, error) {
+	if len(w.GlobalDBEndpoints) <= 1 {
+		return nil, fmt.Errorf("worldgen: replica-loss epoch needs GlobalDBReplicas > 0")
+	}
+	clean, loss := ReplicaLossPolicies(isp.Censor.Policy())
+	now := w.Clock.Now()
+	schedule := []censor.Epoch{
+		{Start: now, Policy: clean},
+		{Start: now.Add(after), Policy: loss},
+	}
+	isp.Censor.EnableChurn(w.Clock, seed)
+	isp.Censor.SetSchedule(schedule)
+	return schedule, nil
+}

@@ -18,6 +18,7 @@ import (
 	"csaw/internal/core"
 	"csaw/internal/dnsx"
 	"csaw/internal/globaldb"
+	"csaw/internal/globaldb/replica"
 	"csaw/internal/httpx"
 	"csaw/internal/lantern"
 	"csaw/internal/netem"
@@ -85,6 +86,22 @@ type Options struct {
 	Jitter float64
 	// Loss enables segment loss with the given probability.
 	Loss float64
+
+	// GlobalDBWALDir, when set, backs the global DB with the WAL+snapshot
+	// store in that directory: kill the process and a new world over the
+	// same directory recovers byte-identical bodies and tags.
+	GlobalDBWALDir string
+	// GlobalDBSnapshotEvery is the WAL compaction cadence (records between
+	// snapshots); 0 selects the globaldb default, negative disables.
+	GlobalDBSnapshotEvery int
+	// GlobalDBReplicas runs this many follower replicas on cloud hosts in
+	// other regions, async-replicating the primary's WAL stream. Clients
+	// built by ClientConfig/LightClientConfig get the full endpoint set and
+	// fail over when the censor blackholes the primary.
+	GlobalDBReplicas int
+	// GlobalDBReplInterval is the follower pull cadence (default 30s
+	// virtual).
+	GlobalDBReplInterval time.Duration
 }
 
 // World is a built emulated internet.
@@ -96,7 +113,13 @@ type World struct {
 	PublicDNSAddr string
 	GlobalDB      *globaldb.Server
 	GlobalDBAddr  string
-	ASNEchoAddr   string
+	// GlobalDBEndpoints is the client-facing replica set in preference
+	// order: the primary first, then each follower. One entry when the
+	// world runs without replicas.
+	GlobalDBEndpoints []string
+	// ReplicaSet drives the followers (nil without GlobalDBReplicas).
+	ReplicaSet  *replica.Set
+	ASNEchoAddr string
 
 	TorDir  *tor.Directory
 	Lantern *lantern.Network
@@ -195,14 +218,56 @@ func New(o Options) (*World, error) {
 	}
 	w.PublicDNSAddr = PublicDNSIP + ":53"
 
-	// Global DB (MongoLab/Heroku stand-in) on the cloud.
+	// Global DB (MongoLab/Heroku stand-in) on the cloud. With a WAL dir or
+	// replicas it runs on the durable store; plain worlds keep the
+	// in-memory sharded store.
 	gh := n.MustAddHost("globaldb", GlobalDBIP, "cloud", cloud)
-	w.GlobalDB = globaldb.NewServer(clock, nil)
+	if o.GlobalDBWALDir != "" || o.GlobalDBReplicas > 0 {
+		srv, err := globaldb.NewDurableServer(clock, nil, globaldb.StoreOptions{
+			Dir:           o.GlobalDBWALDir,
+			SnapshotEvery: o.GlobalDBSnapshotEvery,
+			Replicated:    o.GlobalDBReplicas > 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.GlobalDB = srv
+	} else {
+		w.GlobalDB = globaldb.NewServer(clock, nil)
+	}
 	if err := w.GlobalDB.Attach(gh, 80); err != nil {
 		return nil, err
 	}
 	w.GlobalDBAddr = GlobalDBIP + ":80"
+	w.GlobalDBEndpoints = []string{w.GlobalDBAddr}
 	w.Registry.Set(GlobalDBHost, GlobalDBIP)
+
+	// Follower replicas on cloud hosts in other regions: the censor must
+	// blackhole several distinct IPs (§5: blocking the DB is countered by
+	// moving it). Followers pull the primary's WAL stream asynchronously
+	// and serve byte-identical bodies and tags once caught up.
+	if o.GlobalDBReplicas > 0 {
+		regions := []string{"us", "proxy-Netherlands", "proxy-Germany-2"}
+		followers := make([]*replica.Follower, o.GlobalDBReplicas)
+		for i := range followers {
+			host := n.MustAddHost(fmt.Sprintf("globaldb-replica-%d", i),
+				fmt.Sprintf("40.0.1.%d", i+1), regions[i%len(regions)], cloud)
+			f := &replica.Follower{
+				Name:        fmt.Sprintf("replica-%d", i),
+				Server:      globaldb.NewServer(clock, nil),
+				PrimaryAddr: w.GlobalDBAddr,
+				PrimaryHost: GlobalDBHost,
+				Dial:        host.Dial,
+				Clock:       clock,
+			}
+			if err := f.Attach(host, 80); err != nil {
+				return nil, err
+			}
+			followers[i] = f
+			w.GlobalDBEndpoints = append(w.GlobalDBEndpoints, host.IP()+":80")
+		}
+		w.ReplicaSet = &replica.Set{Followers: followers, Clock: clock, Interval: o.GlobalDBReplInterval}
+	}
 
 	// ASN echo service.
 	eh := n.MustAddHost("asn-echo", ASNEchoIP, "cloud", cloud)
@@ -439,6 +504,7 @@ func (w *World) ClientConfig(host *netem.Host, seed int64) core.Config {
 	tc := tor.NewClient(host, w.TorDir, seed+7)
 	gdb := &globaldb.Client{
 		Addr:       w.GlobalDBAddr,
+		Replicas:   w.clientEndpoints(),
 		Host:       GlobalDBHost,
 		Clock:      w.Clock,
 		ReportDial: tc.Dial, // censorship reports travel over Tor (§5)
