@@ -19,6 +19,13 @@
 #                      full-vs-delta at 1k/10k/100k URL universes gated at
 #                      delta ≤ 20% of full, and the virtual failover-to-
 #                      first-successful-sync latency)
+#   make chaos       — deterministic chaos sweep under -race: the fixed
+#                      primary-loss schedule plus 20 generated fault
+#                      schedules against the replicated global DB; every
+#                      seed must heal to a converged byte-identical set
+#                      with no acked report lost. Emits CHAOS.json (the
+#                      per-seed fault/invariant record, written even when
+#                      a seed fails)
 #   make soak-churn  — seeded censor-churn soak under -race: the scenario
 #                      runs twice and the summary + trace artifact must be
 #                      byte-identical
@@ -28,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: all build test tier1 vet lint race check bench-fleet bench-fleet-full bench-globaldb soak-churn golden fuzz cover
+.PHONY: all build test tier1 vet lint race check bench-fleet bench-fleet-full bench-globaldb chaos soak-churn golden fuzz cover
 
 all: tier1
 
@@ -59,6 +66,14 @@ bench-fleet-full:
 
 bench-globaldb:
 	CSAW_BENCH_GLOBALDB_OUT=$(CURDIR)/BENCH_globaldb.json $(GO) test ./internal/globaldb -run TestEmitBenchGlobalDB -count=1 -v -timeout 15m
+
+# Chaos sweep for the replicated global DB: the fixed primary-loss schedule
+# and the 20-seed randomized sweep (kills, partitions, flaps, torn writes,
+# WAL bit-flips), under the race detector. CHAOS.json records every seed's
+# fault mix and checked invariants and is written even on failure, so a red
+# run still carries the evidence.
+chaos:
+	CSAW_CHAOS_OUT=$(CURDIR)/CHAOS.json $(GO) test -race ./internal/chaos -run 'TestChaosPrimaryLoss|TestChaosSweep' -count=1 -v -timeout 20m
 
 # Determinism soak for the adversarial-churn scenario: same seed twice,
 # rendered summary and deterministic-profile trace must not differ by a

@@ -11,9 +11,17 @@
 // the run demonstrates a censor blackholing the primary: a replica-set
 // client times out, fails over, and is answered 304 by a follower.
 //
+// With -chaos the binary instead runs the deterministic chaos harness's
+// fixed primary-loss schedule against a 3-node self-healing replica set:
+// the founding primary is killed permanently mid-run, a follower promotes
+// itself by minting the next term, and the run ends with the post-heal
+// invariant checks (no acked report lost, monotonic terms, byte-identical
+// replicas). -chaos-seed N runs a randomized fault schedule instead.
+//
 // Usage:
 //
 //	csaw-globaldb [-reporters N] [-spam N] [-wal DIR] [-snapshot-every N] [-replicas N]
+//	csaw-globaldb -chaos [-chaos-seed N]
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"csaw/internal/chaos"
 	"csaw/internal/globaldb"
 	"csaw/internal/globaldb/replica"
 	"csaw/internal/localdb"
@@ -37,8 +46,15 @@ func main() {
 		walDir    = flag.String("wal", "", "directory for the WAL+snapshot store (empty: in-memory)")
 		snapEvery = flag.Int("snapshot-every", 0, "WAL compaction cadence in records (0: default, negative: never)")
 		replicas  = flag.Int("replicas", 0, "follower replicas pulling the primary's log stream")
+		chaosRun  = flag.Bool("chaos", false, "run the chaos harness's fixed primary-loss schedule and exit")
+		chaosSeed = flag.Int64("chaos-seed", 0, "with -chaos: run the randomized schedule for this seed instead")
 	)
 	flag.Parse()
+
+	if *chaosRun {
+		demoChaos(*chaosSeed)
+		return
+	}
 
 	clock := vtime.New(1000)
 	n := netem.New(clock, netem.WithSeed(1))
@@ -243,6 +259,45 @@ func demoRecovery(srv *globaldb.Server, dir string, snapEvery, asn, fullBytes, n
 		fatal(fmt.Errorf("close recovered store: %w", err))
 	}
 	fmt.Println("recovered state matches byte-for-byte")
+}
+
+// demoChaos runs one chaos schedule — the fixed primary-loss plan, or the
+// seed's randomized one — and prints the fault log, the promotion outcome,
+// and the post-heal invariant checks.
+func demoChaos(seed int64) {
+	dir, err := os.MkdirTemp("", "csaw-chaos-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	s := chaos.PrimaryLoss()
+	runSeed := int64(1)
+	if seed != 0 {
+		s = chaos.Generate(seed)
+		runSeed = seed
+	}
+	fmt.Printf("chaos schedule %q: %d rounds, %d fault injections\n", s.Name, s.Rounds, len(s.Events))
+	for _, ev := range s.Events {
+		fmt.Printf("  round %2d: %v node=%d dur=%d\n", ev.Round, ev.Kind, ev.Node, ev.Dur)
+	}
+
+	c, checked, ticks, err := chaos.Run(context.Background(), runSeed, dir, s)
+	if err != nil {
+		fatal(fmt.Errorf("chaos run: %w", err))
+	}
+	li := c.LeaderIndex()
+	term, leader, _ := c.Nodes[li].Server.TermState()
+	fmt.Printf("\nconverged %d ticks after the last fault: leader node-%d, term %d led from %s\n",
+		ticks, li, term, leader)
+	fmt.Printf("acked reports: %d, all present on every replica\n", len(c.Acked))
+	if len(c.Counts) > 0 {
+		fmt.Printf("fault counters: %v\n", c.Counts)
+	}
+	fmt.Println("invariants verified:")
+	for _, inv := range checked {
+		fmt.Printf("  ✓ %s\n", inv)
+	}
 }
 
 func fatal(err error) {

@@ -139,6 +139,7 @@ func All() []Runner {
 		{"sync-fault", "Sync convergence under global-DB outages", SyncFault},
 		{"censor-churn", "PLT collapse and crowd-sourced recovery across censor policy flips", CensorChurn},
 		{"replica-loss", "Failover to follower replicas when the censor blackholes the primary", ReplicaLoss},
+		{"primary-loss", "Follower promotion when the censor kills the primary outright", PrimaryLoss},
 		{"delta-sync", "Delta sync keeps bytes/sync flat as the URL universe grows", DeltaSync},
 		{"fleet", "Population-scale fleet workload", Fleet},
 		{"trace-breakdown", "PLT phase breakdown behind ISP-B (flight recorder)", TraceBreakdown},

@@ -51,3 +51,23 @@ func TestSmokeReplicaLoss(t *testing.T) { smoke(t, "replica-loss", 2) }
 func TestSmokeDeltaSync(t *testing.T) { smoke(t, "delta-sync", 3) }
 
 func TestSmokeFleet(t *testing.T) { smoke(t, "fleet", 50) }
+
+func TestSmokePrimaryLoss(t *testing.T) { smoke(t, "primary-loss", 2) }
+
+// TestPrimaryLossDeterministic is the promotion determinism gate: the whole
+// kill/elect/resume/rejoin sequence must render byte-identically for the
+// same seed — elections, tie-breaks, and resync all run in virtual time.
+func TestPrimaryLossDeterministic(t *testing.T) {
+	r := Find("primary-loss")
+	first, err := r.Run(Options{Runs: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := r.Run(Options{Runs: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a, b := first.Render(), second.Render(); a != b {
+		t.Errorf("same seed, different summaries\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -155,15 +155,19 @@ func BenchmarkFleetRun(b *testing.B) {
 
 // popPoint is one point of the population curve: one full fleet run at a
 // given population, clock engine, and virtual observation window, reduced
-// to its throughput headline.
+// to its throughput headline plus the sync-path mix — the per-population
+// record of what one sync round costs on the wire now that delta sync is
+// the driver's default path (deltaHistoryFor sizes the server's edit
+// history to the fleet).
 type popPoint struct {
-	Population        int     `json:"population"`
-	Mode              string  `json:"mode"` // "event" | "scaled"
-	WindowHours       float64 `json:"window_hours"`
-	Fetches           int     `json:"fetches"`
-	RealSeconds       float64 `json:"real_seconds"`
-	FetchesPerRealSec float64 `json:"fetches_per_real_sec"`
-	PeakGoroutines    int     `json:"peak_goroutines"`
+	Population        int            `json:"population"`
+	Mode              string         `json:"mode"` // "event" | "scaled"
+	WindowHours       float64        `json:"window_hours"`
+	Fetches           int            `json:"fetches"`
+	RealSeconds       float64        `json:"real_seconds"`
+	FetchesPerRealSec float64        `json:"fetches_per_real_sec"`
+	PeakGoroutines    int            `json:"peak_goroutines"`
+	DeltaSync         DeltaSyncStats `json:"delta_sync"`
 }
 
 // curveScale is the scaled-clock baseline's scale for the 10k points —
@@ -221,6 +225,7 @@ func runCurvePoint(tb testing.TB, population int, eventDriven bool, window time.
 		RealSeconds:       real,
 		FetchesPerRealSec: float64(res.Measured.Fetches) / real,
 		PeakGoroutines:    res.Measured.PeakGoroutines,
+		DeltaSync:         res.Measured.DeltaSync(),
 	}
 }
 
@@ -320,6 +325,9 @@ func TestEmitBenchFleet(t *testing.T) {
 	for _, p := range doc.PopulationCurve {
 		t.Logf("curve: %6d clients %-6s %4.0fh window %7d fetches in %7.2fs → %8.0f fetches/s (peak %d goroutines)",
 			p.Population, p.Mode, p.WindowHours, p.Fetches, p.RealSeconds, p.FetchesPerRealSec, p.PeakGoroutines)
+		d := p.DeltaSync
+		t.Logf("       sync path: %d full, %d delta, %d 304; %d list bytes (%.0f bytes/sync)",
+			d.FetchFull, d.FetchDelta, d.Fetch304, d.ListBytes, d.BytesPerSync)
 	}
 	t.Logf("event speedup at 10k clients (72h steady-state window): %.1fx", doc.EventSpeedup10k)
 	if doc.SyncRound.Speedup < 5 {

@@ -129,6 +129,15 @@ func Run(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario, pla
 	st := newStats(plan.Workload.Seed)
 	start := w.Clock.Now()
 
+	// Delta sync is the fleet's default sync path. The server's per-AS edit
+	// history (default 64 transitions) is sized for a handful of clients; at
+	// fleet scale every other client's sync advances the tag chain, so a
+	// client's validator tag from one round would fall out of history before
+	// its next round and every sync would pay a full-body fetch. Sizing the
+	// history to the population keeps converging-phase syncs on the delta
+	// path; correctness never depends on it (stale tags just fetch full).
+	w.GlobalDB.SetDeltaHistory(deltaHistoryFor(len(plan.Clients)))
+
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
 	var failOnce sync.Once
@@ -289,6 +298,23 @@ func runEvent(ctx context.Context, w *worldgen.World, sc *worldgen.FleetScenario
 			clients[cidx] = nil
 		}
 	}
+}
+
+// deltaHistoryFor sizes the global DB's per-AS delta edit history to the
+// population. One edit is recorded per snapshot rebuild, and rebuilds only
+// happen while updates still arrive, so population-order history covers a
+// full round of everyone else's syncs during convergence. The cap bounds
+// server memory: beyond it a very stale client pays one full fetch and
+// re-enters the delta path, which is the designed fallback.
+func deltaHistoryFor(population int) int {
+	const lo, hi = 64, 4096
+	switch {
+	case population < lo:
+		return lo
+	case population > hi:
+		return hi
+	}
+	return population
 }
 
 // c0fetch is FetchURL with a nil-result guard (FetchURL always returns a

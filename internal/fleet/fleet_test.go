@@ -105,6 +105,47 @@ func TestFleetSmoke(t *testing.T) {
 	t.Logf("\n%s%s", s.Render(), m.Render())
 }
 
+// TestFleetDeltaSyncDefault: the driver sizes the global DB's delta edit
+// history to the population (deltaHistoryFor), so delta sync is the fleet's
+// default path. A full body on a repeat sync is legitimate only when the
+// delta would not be smaller (the empty→populated transition, or heavy
+// churn — the store's size guard); what must never happen is the all-full
+// regime of tags falling out of history, where every sync re-downloads the
+// whole list. The bound below fails that regime with wide margin while
+// tolerating the converging-phase transitions.
+func TestFleetDeltaSyncDefault(t *testing.T) {
+	res := runFleet(t, smokeWorkload(11), 2400, 16)
+	d := res.Measured.DeltaSync()
+	m := res.Measured
+	if d.FetchDelta == 0 {
+		t.Errorf("no delta-encoded fetches in a converging run (mix: %+v)", d)
+	}
+	if d.Fetch304 == 0 {
+		t.Errorf("no 304s in a run with quiet sync rounds (mix: %+v)", d)
+	}
+	if d.ListBytes == 0 || d.BytesPerSync <= 0 {
+		t.Errorf("sync-path byte accounting empty: %+v", d)
+	}
+	// All-full would put FetchFull at roughly Joined+Syncs; converging
+	// transitions cost at most a couple of fulls per client.
+	if max := m.Joined + m.Syncs/2; d.FetchFull > max {
+		t.Errorf("%d full list fetches (joined %d, syncs %d) — repeat syncs fell off the delta path", d.FetchFull, m.Joined, m.Syncs)
+	}
+	t.Logf("sync path: %d full, %d delta, %d 304; %d list bytes (%.0f/sync)",
+		d.FetchFull, d.FetchDelta, d.Fetch304, d.ListBytes, d.BytesPerSync)
+}
+
+// TestDeltaHistoryClamp pins the sizing rule the driver applies.
+func TestDeltaHistoryClamp(t *testing.T) {
+	for _, tc := range []struct{ pop, want int }{
+		{0, 64}, {10, 64}, {64, 64}, {65, 65}, {1500, 1500}, {4096, 4096}, {100_000, 4096},
+	} {
+		if got := deltaHistoryFor(tc.pop); got != tc.want {
+			t.Errorf("deltaHistoryFor(%d) = %d, want %d", tc.pop, got, tc.want)
+		}
+	}
+}
+
 // TestPlanDeterminism: equal workloads yield equal plans (pure generation,
 // no execution).
 func TestPlanDeterminism(t *testing.T) {

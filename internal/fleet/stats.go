@@ -211,6 +211,36 @@ type Measured struct {
 	Counters       map[string]int      `json:"client_counters"`
 }
 
+// DeltaSyncStats is the sync-path mix of a run: how the fleet's list
+// downloads split across full bodies, delta responses, and 304s, and what
+// one list exchange cost on the wire. The counts come from the per-client
+// global-DB counters folded at retire time, so they cover every client that
+// completed its timeline.
+type DeltaSyncStats struct {
+	FetchFull  int `json:"fetch_full"`
+	FetchDelta int `json:"fetch_delta"`
+	Fetch304   int `json:"fetch_304"`
+	ListBytes  int `json:"list_bytes"`
+	// BytesPerSync is ListBytes over all list exchanges (full + delta + 304):
+	// the average wire cost of keeping one client's list current for one
+	// sync round.
+	BytesPerSync float64 `json:"bytes_per_sync"`
+}
+
+// DeltaSync extracts the sync-path mix from the folded client counters.
+func (m Measured) DeltaSync() DeltaSyncStats {
+	d := DeltaSyncStats{
+		FetchFull:  m.Counters["gdb-fetch-full"],
+		FetchDelta: m.Counters["gdb-fetch-delta"],
+		Fetch304:   m.Counters["gdb-fetch-304"],
+		ListBytes:  m.Counters["gdb-list-bytes"],
+	}
+	if n := d.FetchFull + d.FetchDelta + d.Fetch304; n > 0 {
+		d.BytesPerSync = float64(d.ListBytes) / float64(n)
+	}
+	return d
+}
+
 // Render formats the measured section for humans.
 func (m Measured) Render() string {
 	var b strings.Builder
@@ -221,6 +251,10 @@ func (m Measured) Render() string {
 		m.Syncs, m.SyncErrors, m.Updates, m.Degraded)
 	fmt.Fprintf(&b, "lifecycle       %d joined, %d left early, peak %d goroutines\n",
 		m.Joined, m.Left, m.PeakGoroutines)
+	if d := m.DeltaSync(); d.FetchFull+d.FetchDelta+d.Fetch304 > 0 {
+		fmt.Fprintf(&b, "sync path       %d full, %d delta, %d 304; %d list bytes (%.0f/sync)\n",
+			d.FetchFull, d.FetchDelta, d.Fetch304, d.ListBytes, d.BytesPerSync)
+	}
 	srcs := make([]string, 0, len(m.PLT))
 	for s := range m.PLT {
 		srcs = append(srcs, s)

@@ -28,7 +28,32 @@ const (
 	// GET /v1/repl?from=N&follower=name&max=M returns framed WAL records
 	// starting at sequence N (at most M bytes), recording name's ack at N.
 	PathRepl = "/v1/repl"
+	// PathReplStatus is served by every replica-set node (the replica layer
+	// answers it, not the bare server): GET returns a ReplStatus describing
+	// the node's role, term, and replication offsets. Election probes and
+	// leader reconciliation are built on it.
+	PathReplStatus = "/v1/repl/status"
+	// PathReplDemote tells a stale leader a newer term exists:
+	// POST /v1/repl/demote?term=T&leader=ADDR&have=N. The receiver fences
+	// itself toward ADDR and schedules its own push-then-resync (the response
+	// carries only a ReplStatus — a demoted node pushes its unreplicated
+	// suffix itself, so a lost response cannot lose acked records). have=N
+	// means the new leader already holds the first N records of the
+	// receiver's stream.
+	PathReplDemote = "/v1/repl/demote"
+	// PathReplPush lets a demoted or diverged node hand the current leader
+	// the feed suffix the leader never pulled: POST with a body of framed WAL
+	// records. The leader absorbs them in order (skipping term records) and
+	// acknowledges with the count; ingest dedup makes re-pushing after a lost
+	// ack idempotent.
+	PathReplPush = "/v1/repl/push"
 )
+
+// StatusFenced is the status a node returns for writes (and replication
+// pulls) carrying a stale term: HTTP 421 Misdirected Request, with
+// TermHeader and LeaderHeader naming the fencing term and where the current
+// leader is believed to be. Clients and forwarders chase the hint.
+const StatusFenced = 421
 
 // CaptchaHeader carries the solved-CAPTCHA token on registration.
 const CaptchaHeader = "X-Recaptcha-Token"
@@ -47,6 +72,52 @@ const (
 	ReplNextHeader = "X-Repl-Next"
 	ReplHeadHeader = "X-Repl-Head"
 )
+
+// Term headers. TermHeader carries the responding node's current lineage
+// term on replication pulls and the fencing term on StatusFenced
+// rejections; LeaderHeader carries the client-facing address of that term's
+// leader. ReplBaseHeader rides pull responses with the feed position at
+// which the current term began.
+//
+// ReplTermAtHeader / ReplLeaderAtHeader answer the puller's real question:
+// which lineage was in effect at the offset it is pulling from, in the
+// responder's stream. A (term, leader) pair names exactly one single-writer
+// history, so a follower whose own lineage matches the responder's
+// lineage-at-offset holds a verbatim prefix and can pull onward; any
+// mismatch (or an offset past the responder's head) means the streams
+// forked, and the follower must push its suffix and resync from zero.
+const (
+	TermHeader         = "X-Csaw-Term"
+	LeaderHeader       = "X-Csaw-Leader"
+	ReplBaseHeader     = "X-Repl-Base"
+	ReplTermAtHeader   = "X-Repl-Term-At"
+	ReplLeaderAtHeader = "X-Repl-Leader-At"
+)
+
+// Replica roles, as reported in ReplStatus.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// ReplStatus describes one replica-set node for election probes and leader
+// reconciliation: who it is, what role it believes it holds, its current
+// term, how much of the leader's stream it has applied (Offset), its own
+// feed head (Head), and the feed position its current term began at (Base).
+type ReplStatus struct {
+	Name   string `json:"name"`
+	Addr   string `json:"addr"`
+	Role   string `json:"role"`
+	Term   int64  `json:"term"`
+	Offset uint64 `json:"offset"`
+	Head   uint64 `json:"head"`
+	Base   uint64 `json:"base"`
+}
+
+// ReplPushResponse acknowledges an absorbed push.
+type ReplPushResponse struct {
+	Absorbed int `json:"absorbed"`
+}
 
 // RegisterResponse returns the server-assigned UUID.
 type RegisterResponse struct {

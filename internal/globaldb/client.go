@@ -59,12 +59,13 @@ type Client struct {
 
 // ClientStats counts the client's sync-path outcomes.
 type ClientStats struct {
-	FetchFull   int // 200 full-body list fetches
-	FetchDelta  int // 200 delta-encoded list fetches
-	Fetch304    int // 304 not-modified answers
-	ListBytes   int // list bytes received (full + delta bodies)
-	Failovers   int // API calls served by a non-first-preference endpoint
-	ReplicaDown int // healthy→down endpoint transitions observed
+	FetchFull    int // 200 full-body list fetches
+	FetchDelta   int // 200 delta-encoded list fetches
+	Fetch304     int // 304 not-modified answers
+	ListBytes    int // list bytes received (full + delta bodies)
+	Failovers    int // API calls served by a non-first-preference endpoint
+	ReplicaDown  int // healthy→down endpoint transitions observed
+	LeaderChases int // fenced (421) answers whose leader hint was followed
 }
 
 // blockedCache is one AS's last successfully fetched list plus the server's
@@ -174,12 +175,44 @@ func (c *Client) nextSeq() uint64 {
 	return c.seq
 }
 
+// maxLeaderChase bounds how many fencing hints one call follows: two hops
+// cover a hint that itself lands on a freshly demoted node.
+const maxLeaderChase = 2
+
+// chaseLeader follows fencing rejections to the hinted leader, at most
+// maxLeaderChase hops. It returns the final answer and the endpoint that
+// produced it; a hop that fails at the transport layer keeps the previous
+// (fenced) answer so the caller's failover logic sees an HTTP status, not a
+// phantom outage.
+func (c *Client) chaseLeader(ctx context.Context, hc *httpx.Client, ep string, req *httpx.Request,
+	resp *httpx.Response, sp *trace.Span) (*httpx.Response, string) {
+	for hop := 0; hop < maxLeaderChase && resp.StatusCode == StatusFenced; hop++ {
+		hint := resp.Header.Get(LeaderHeader)
+		if hint == "" || hint == ep {
+			break
+		}
+		if sp != nil {
+			sp.Event("repl", "chase", hint)
+		}
+		next, err := hc.Do(ctx, hint, req)
+		if err != nil {
+			break
+		}
+		c.mu.Lock()
+		c.stats.LeaderChases++
+		c.mu.Unlock()
+		resp, ep = next, hint
+	}
+	return resp, ep
+}
+
 func (c *Client) do(ctx context.Context, dial netem.DialFunc, req *httpx.Request) (*httpx.Response, error) {
 	hc := &httpx.Client{Dial: dial, Clock: c.Clock, Timeout: c.timeout()}
 	eps := c.endpoints()
 	if len(eps) == 1 {
 		resp, err := hc.Do(ctx, eps[0], req)
 		if err == nil {
+			resp, _ = c.chaseLeader(ctx, hc, eps[0], req, resp, nil)
 			c.noteServed(eps[0], false)
 		}
 		return resp, err
@@ -199,9 +232,10 @@ func (c *Client) do(ctx context.Context, dial netem.DialFunc, req *httpx.Request
 		}
 		resp, err := hc.Do(ctx, ep, req)
 		if err == nil {
-			c.noteServed(ep, ep != eps[0])
+			resp, servedBy := c.chaseLeader(ctx, hc, ep, req, resp, sp)
+			c.noteServed(servedBy, servedBy != eps[0])
 			if sp != nil {
-				sp.Event("repl", "served", ep)
+				sp.Event("repl", "served", servedBy)
 				sp.Finish("globaldb", "ok", nil)
 			}
 			return resp, nil

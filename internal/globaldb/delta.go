@@ -14,10 +14,13 @@ import (
 // the history (too old, from another store, or never served) fall back to
 // the full body; correctness never depends on the history being long enough.
 
-// deltaHistoryMax caps the per-AS edit history. Sixty-four observed
-// snapshot transitions cover many sync intervals of drift for a slow
-// client; anything older pays one full-body fetch and re-enters the
-// delta path with a fresh tag.
+// deltaHistoryMax is the default cap on the per-AS edit history. Sixty-four
+// observed snapshot transitions cover many sync intervals of drift for a
+// slow client; anything older pays one full-body fetch and re-enters the
+// delta path with a fresh tag. At fleet scale the interval between one
+// client's consecutive syncs spans far more than 64 rebuilds (every other
+// client's fetches advance the chain), so fleet worlds raise the cap with
+// Server.SetDeltaHistory to keep converging-phase syncs on the delta path.
 const deltaHistoryMax = 64
 
 // deltaEdit is the change set from the snapshot served under tag from to
@@ -34,12 +37,15 @@ type deltaEdit struct {
 // unbroken so a client holding fromTag can still be served a delta after a
 // rebuild that changed nothing (e.g. a version bump that re-aggregated to
 // the same list).
-func (idx *asIndex) recordEditLocked(fromTag string, old, new []Entry) {
+func (idx *asIndex) recordEditLocked(fromTag string, old, new []Entry, max int) {
+	if max <= 0 {
+		max = deltaHistoryMax
+	}
 	changed, removed := diffEntries(old, new)
 	idx.history = append(idx.history, deltaEdit{from: fromTag, changed: changed, removed: removed})
-	if len(idx.history) > deltaHistoryMax {
+	if len(idx.history) > max {
 		// Copy the tail so the dropped head doesn't pin the backing array.
-		idx.history = append([]deltaEdit(nil), idx.history[len(idx.history)-deltaHistoryMax:]...)
+		idx.history = append([]deltaEdit(nil), idx.history[len(idx.history)-max:]...)
 	}
 }
 

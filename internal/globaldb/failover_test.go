@@ -3,6 +3,7 @@ package globaldb
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -197,5 +198,133 @@ func TestClientAllReplicasDown(t *testing.T) {
 	}
 	if got := c.LastServed(); got != "40.0.0.3:80" {
 		t.Fatalf("served by %q, want the healed third replica", got)
+	}
+}
+
+// TestClientCooldownExpiryMidCall pins a timing edge: an endpoint that was
+// cooling when the call started is still attempted (as a last resort) and,
+// with its cooldown having expired while earlier attempts timed out, serves
+// the call — the order computed at call start must not freeze an endpoint
+// out of the very call during which it becomes retryable.
+func TestClientCooldownExpiryMidCall(t *testing.T) {
+	_, servers, mk := failoverWorld(t)
+	c := mk("u1", "10.0.0.1")
+	c.ReplicaCooldown = 8 * time.Second // shorter than two attempt timeouts
+
+	// Round 1: primary blackholed, client fails over and the primary cools.
+	servers[0].Faults().SetDrop(true)
+	servers[0].Faults().SetOutage(true)
+	if _, err := c.FetchBlocked(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastServed(); got != "40.0.0.2:80" {
+		t.Fatalf("served by %q, want the second replica", got)
+	}
+
+	// Round 2: the primary heals but is still cooling; the other two go
+	// dark. Their two timeouts (5s each) outlast the 8s cooldown, so the
+	// last-resort attempt at the primary lands after its cooldown expired.
+	servers[0].Faults().SetDrop(false)
+	servers[0].Faults().SetOutage(false)
+	for _, srv := range servers[1:] {
+		srv.Faults().SetDrop(true)
+		srv.Faults().SetOutage(true)
+	}
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("mid-call recovery fetch = %+v, %v", entries, err)
+	}
+	if got := c.LastServed(); got != "40.0.0.1:80" {
+		t.Fatalf("served by %q, want the healed primary as last resort", got)
+	}
+	if st := c.Stats(); st.ReplicaDown != 3 {
+		t.Fatalf("stats = %+v, want the two dark replicas to add down transitions", st)
+	}
+}
+
+// TestClientAllCoolingPreferenceOrder pins the exhaustion ordering: when
+// every endpoint is cooling, the client still tries them all, in preference
+// order — so a fully healed set answers from the primary, not whichever
+// replica happened to fail last.
+func TestClientAllCoolingPreferenceOrder(t *testing.T) {
+	_, servers, mk := failoverWorld(t)
+	c := mk("u1", "10.0.0.1")
+	c.ReplicaCooldown = 10 * time.Minute
+
+	for _, srv := range servers {
+		srv.Faults().SetDrop(true)
+		srv.Faults().SetOutage(true)
+	}
+	if _, err := c.FetchBlocked(context.Background(), 100); err == nil {
+		t.Fatal("fetch succeeded with every replica blackholed")
+	}
+	for _, srv := range servers {
+		srv.Faults().SetDrop(false)
+		srv.Faults().SetOutage(false)
+	}
+	// Everything is deep inside its cooldown window; the call must still go
+	// out and must prefer the primary.
+	entries, err := c.FetchBlocked(context.Background(), 100)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("all-cooling fetch = %+v, %v", entries, err)
+	}
+	if got := c.LastServed(); got != "40.0.0.1:80" {
+		t.Fatalf("served by %q, want the primary first among cooling endpoints", got)
+	}
+	// Serving clears the primary's cooldown; the next call hits it again
+	// without a failover increment.
+	before := c.Stats().Failovers
+	if _, err := c.FetchBlocked(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Failovers != before {
+		t.Fatalf("failovers %d -> %d on a healthy-primary call", before, st.Failovers)
+	}
+}
+
+// TestClientStatsConcurrentFetches hammers one replica-set client from many
+// goroutines while the primary is dark — the cooldown map, LastServed, and
+// the stats counters are shared state, and this test (run under -race in CI)
+// pins that concurrent failovers keep them consistent.
+func TestClientStatsConcurrentFetches(t *testing.T) {
+	_, servers, mk := failoverWorld(t)
+	c := mk("u1", "10.0.0.1")
+	servers[0].Faults().SetDrop(true)
+	servers[0].Faults().SetOutage(true)
+
+	const workers, rounds = 6, 3
+	errs := make(chan error, workers*rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				entries, err := c.FetchBlocked(context.Background(), 100)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(entries) != 1 {
+					errs <- fmt.Errorf("got %d entries", len(entries))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent fetch: %v", err)
+	}
+	st := c.Stats()
+	if st.ReplicaDown < 1 || st.ReplicaDown > workers*rounds {
+		t.Fatalf("stats = %+v, want 1..%d down transitions", st, workers*rounds)
+	}
+	if st.Failovers < 1 {
+		t.Fatalf("stats = %+v, want at least one failover", st)
+	}
+	if got := c.LastServed(); got == "40.0.0.1:80" || got == "" {
+		t.Fatalf("last served %q, want a live replica", got)
 	}
 }

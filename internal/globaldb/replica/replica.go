@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,7 +43,17 @@ import (
 // defaultMaxBytes bounds one pull's payload.
 const defaultMaxBytes = 1 << 20
 
-// Follower replicates a primary's WAL stream into a local server.
+// Peer names one other member of the replica set for election probes and
+// leader reconciliation. Addr is the member's client-facing "ip:port".
+type Peer struct {
+	Name string
+	Addr string
+}
+
+// Follower replicates a primary's WAL stream into a local server. With
+// Promote set it is also one node of a self-healing replica set: it counts
+// missed pulls, runs elections, can be promoted to leader, fences stale
+// writers, and resyncs after demotion (see promote.go).
 type Follower struct {
 	// Name identifies the follower in the primary's lag stats.
 	Name string
@@ -62,11 +73,33 @@ type Follower struct {
 	// Trace, when set, records one span per pull on the "repl" lane.
 	Trace *trace.Tracer
 
+	// Promote enables the promotion controller (Step): missed-pull
+	// detection, elections, fencing, demotion and resync. Off by default —
+	// plain pull replication behaves exactly as before.
+	Promote bool
+	// Self is this node's own client-facing "ip:port"; required with
+	// Promote (it is what a minted term's leader hint points at).
+	Self string
+	// Peers lists the other replica-set members, the current primary
+	// included, for election probes and reconciliation.
+	Peers []Peer
+	// MissedThreshold is how many consecutive failed pulls declare the
+	// primary dead and trigger an election; default 3.
+	MissedThreshold int
+
 	mu      sync.Mutex
 	offset  uint64
 	applied int64
 	lastErr error
 	seq     uint64
+
+	// Promotion state, all guarded by mu.
+	role     string // globaldb.RoleLeader or "" / RoleFollower
+	primary  string // current primary override; "" means PrimaryAddr
+	missed   int    // consecutive failed pulls
+	resync   bool   // a push-then-reset toward resyncTo is pending
+	resyncTo string
+	pushFrom uint64 // feed records below this are already held by the leader
 }
 
 func (f *Follower) timeout() time.Duration {
@@ -82,6 +115,49 @@ func (f *Follower) Offset() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.offset
+}
+
+// SetOffset primes the pull offset, used when a restarted node recovered n
+// records from its own WAL and should continue pulling from there.
+func (f *Follower) SetOffset(n uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.offset = n
+}
+
+// RoleName returns the node's current role.
+func (f *Follower) RoleName() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.role == "" {
+		return globaldb.RoleFollower
+	}
+	return f.role
+}
+
+// SetRole sets the node's role; wiring marks the founding primary's node
+// with globaldb.RoleLeader.
+func (f *Follower) SetRole(role string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.role = role
+}
+
+// primaryAddr is the address the node currently pulls from and forwards to:
+// the configured PrimaryAddr until a leader change repoints it.
+func (f *Follower) primaryAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.primary != "" {
+		return f.primary
+	}
+	return f.PrimaryAddr
+}
+
+func (f *Follower) repoint(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primary = addr
 }
 
 // Err returns the most recent pull error, cleared by a successful pull.
@@ -123,9 +199,16 @@ func (f *Follower) SyncOnce(ctx context.Context) (applied int, caughtUp bool, er
 	target := fmt.Sprintf("%s?from=%d&follower=%s&max=%d", globaldb.PathRepl, from, f.Name, maxBytes)
 	req := httpx.NewRequest("GET", f.PrimaryHost, target)
 	hc := &httpx.Client{Dial: f.Dial, Clock: f.Clock, Timeout: f.timeout()}
-	resp, err := hc.Do(ctx, f.PrimaryAddr, req)
+	resp, err := hc.Do(ctx, f.primaryAddr(), req)
 	if err != nil {
 		return 0, false, f.fail(fmt.Errorf("replica: pull: %w", err))
+	}
+	if resp.StatusCode == globaldb.StatusFenced {
+		// The node we pull from is no longer the leader. Chase its hint so
+		// the next pull lands on the current lineage.
+		f.adoptHint(resp)
+		return 0, false, f.fail(fmt.Errorf("replica: pull: primary fenced (term %s, leader %s)",
+			resp.Header.Get(globaldb.TermHeader), resp.Header.Get(globaldb.LeaderHeader)))
 	}
 	if resp.StatusCode != 200 {
 		return 0, false, f.fail(fmt.Errorf("replica: pull: %d %s", resp.StatusCode, resp.Body))
@@ -138,8 +221,15 @@ func (f *Follower) SyncOnce(ctx context.Context) (applied int, caughtUp bool, er
 	if err != nil {
 		return 0, false, f.fail(fmt.Errorf("replica: bad head header: %w", err))
 	}
+	if f.Promote {
+		if diverged := f.checkDivergence(resp, from, head); diverged != nil {
+			return 0, false, f.fail(diverged)
+		}
+	}
 	if _, err := storage.Replay(bytes.NewReader(resp.Body), func(rec *storage.Record) error {
-		f.Server.Apply(rec)
+		if err := f.Server.Absorb(rec); err != nil {
+			return err
+		}
 		applied++
 		return nil
 	}); err != nil {
@@ -165,29 +255,58 @@ func (f *Follower) fail(err error) error {
 	return err
 }
 
-// Handler fronts the full client API on the follower: GETs (list fetches,
-// stats) are served from the local replica; everything else (registration,
-// reports) is forwarded to the primary over the follower's dialer.
+// Handler fronts the full client API on the node. Replica-set control
+// endpoints (status, demote) are answered here for every role. A leader
+// serves everything from its local server. A follower serves GETs (list
+// fetches, stats) from the local replica and forwards writes to the
+// primary over the follower's dialer, chasing one fencing hint so a write
+// that lands mid-promotion still reaches the new leader.
 func (f *Follower) Handler() httpx.Handler {
 	local := f.Server.Handler()
 	return httpx.HandlerFunc(func(req *httpx.Request, flow netem.Flow) *httpx.Response {
-		if req.Method == "GET" {
+		path := req.Target
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		switch {
+		case req.Method == "GET" && path == globaldb.PathReplStatus:
+			return jsonResponse(200, f.Status())
+		case req.Method == "POST" && path == globaldb.PathReplDemote:
+			return f.handleDemote(req)
+		}
+		if req.Method == "GET" || f.RoleName() == globaldb.RoleLeader {
 			return local.ServeHTTP(req, flow)
 		}
-		fwd := httpx.NewRequest(req.Method, f.PrimaryHost, req.Target)
-		for k, vs := range req.Header {
-			for _, v := range vs {
-				fwd.Header.Add(k, v)
+		return f.forward(req)
+	})
+}
+
+// forward relays one write to the current primary. The incoming request's
+// context bounds the upstream call: a client that hung up (or a closing
+// server) cancels the forward instead of leaving it to run out its own
+// timeout against an unreachable primary.
+func (f *Follower) forward(req *httpx.Request) *httpx.Response {
+	fwd := httpx.NewRequest(req.Method, f.PrimaryHost, req.Target)
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			fwd.Header.Add(k, v)
+		}
+	}
+	fwd.Body = req.Body
+	hc := &httpx.Client{Dial: f.Dial, Clock: f.Clock, Timeout: f.timeout()}
+	resp, err := hc.Do(req.Context(), f.primaryAddr(), fwd)
+	if err != nil {
+		return httpx.NewResponse(502, []byte("primary unreachable: "+err.Error()))
+	}
+	if resp.StatusCode == globaldb.StatusFenced {
+		if hint := resp.Header.Get(globaldb.LeaderHeader); hint != "" && hint != f.primaryAddr() {
+			f.adoptHint(resp)
+			if retried, err := hc.Do(req.Context(), hint, fwd); err == nil {
+				return retried
 			}
 		}
-		fwd.Body = req.Body
-		hc := &httpx.Client{Dial: f.Dial, Clock: f.Clock, Timeout: f.timeout()}
-		resp, err := hc.Do(context.Background(), f.PrimaryAddr, fwd)
-		if err != nil {
-			return httpx.NewResponse(502, []byte("primary unreachable: "+err.Error()))
-		}
-		return resp
-	})
+	}
+	return resp
 }
 
 // Attach serves the client API (Handler) on host:port.

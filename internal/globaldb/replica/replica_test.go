@@ -294,3 +294,31 @@ func TestSetBackgroundLoop(t *testing.T) {
 		t.Fatalf("background sync diverged: %q/%q vs %q/%q", got, gotTag, body, tag)
 	}
 }
+
+// TestForwardHonorsRequestContext is the regression pin for the forward
+// path's context plumbing: a forwarded write used to run under
+// context.Background(), so a client that had already hung up (or a closing
+// server) left the relay burning its full timeout against an unreachable
+// primary. The incoming request's context must bound the upstream call.
+func TestForwardHonorsRequestContext(t *testing.T) {
+	w := newReplWorld(t)
+	// Blackhole the primary so an unbounded forward would only die by its
+	// own 30s (virtual) timeout.
+	w.primary.Faults().SetDrop(true)
+	w.primary.Faults().SetOutage(true)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client hung up before the relay even started
+
+	body := []byte(`{"uuid":"u","reports":[]}`)
+	req := httpx.NewRequest("POST", "globaldb.example", globaldb.PathReport)
+	req.Body = body
+	start := w.clock.Now()
+	resp := w.followers[0].Handler().ServeHTTP(req.WithContext(ctx), netem.Flow{})
+	if resp.StatusCode != 502 {
+		t.Fatalf("forward with dead context: status %d %s, want 502", resp.StatusCode, resp.Body)
+	}
+	if elapsed := w.clock.Now().Sub(start); elapsed > time.Second {
+		t.Fatalf("forward with dead context burned %v of virtual time, want an immediate abort", elapsed)
+	}
+}

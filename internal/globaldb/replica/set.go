@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"csaw/internal/globaldb"
 	"csaw/internal/globaldb/storage"
 	"csaw/internal/vtime"
 )
@@ -62,6 +63,9 @@ func (s *Set) loop(ctx context.Context, f *Follower) {
 // stays latched in the follower for the next Stats reader; the loop
 // retries on the next tick).
 func (s *Set) drain(ctx context.Context, f *Follower) {
+	if f.RoleName() == globaldb.RoleLeader {
+		return
+	}
 	for {
 		_, caughtUp, err := f.SyncOnce(ctx)
 		if err != nil || caughtUp {
@@ -82,11 +86,28 @@ func (s *Set) Stop() {
 	s.wg.Wait()
 }
 
+// Tick runs one promotion-controller step on every member, in slice order.
+// This is the deterministic foreground pump for promotion-enabled sets: the
+// experiment or chaos harness calls it once per virtual sync round instead
+// of running background loops. Actions are returned in member order, for
+// traces and assertions.
+func (s *Set) Tick(ctx context.Context) []string {
+	out := make([]string, len(s.Followers))
+	for i, f := range s.Followers {
+		out[i] = f.Step(ctx)
+	}
+	return out
+}
+
 // SyncAll pumps every follower to the primary's current head and returns
 // the first pull error, if any. Deterministic: followers sync in slice
-// order, so same-seed runs replicate in the same order.
+// order, so same-seed runs replicate in the same order. Members currently
+// acting as the leader are skipped — the leader has nothing to pull.
 func (s *Set) SyncAll(ctx context.Context) error {
 	for _, f := range s.Followers {
+		if f.RoleName() == globaldb.RoleLeader {
+			continue
+		}
 		for {
 			_, caughtUp, err := f.SyncOnce(ctx)
 			if err != nil {

@@ -38,6 +38,7 @@ type Server struct {
 	faults  FaultPolicy
 	store   store
 	durable *durableStore // non-nil when built by NewDurableServer
+	terms   termState     // promotion term + fencing state (see term.go)
 
 	mu           sync.Mutex // guards the registration state below
 	uuidSeq      uint64
@@ -68,7 +69,7 @@ func newServerWith(clock *vtime.Clock, captcha CaptchaVerifier, st store, d *dur
 	if captcha == nil {
 		captcha = DefaultCaptcha
 	}
-	return &Server{
+	s := &Server{
 		clock:        clock,
 		captcha:      captcha,
 		store:        st,
@@ -76,6 +77,13 @@ func newServerWith(clock *vtime.Clock, captcha CaptchaVerifier, st store, d *dur
 		regByIP:      make(map[string][]time.Time),
 		lastRegSweep: clock.Now(),
 	}
+	if d != nil {
+		// Re-derive the term view from the recovered record stream. The node
+		// restarts unfenced; if leadership moved on while it was down, the
+		// replica controller's reconciliation will fence it.
+		s.terms.term, s.terms.leader, s.terms.base = d.termState()
+	}
+	return s
 }
 
 // Close flushes and closes the durable backend (no-op for in-memory
@@ -133,6 +141,8 @@ func (s *Server) Handler() httpx.Handler {
 			return s.handleRegister(req, flow)
 		case req.Method == "POST" && path == PathReport:
 			return s.handleReport(req)
+		case req.Method == "POST" && path == PathReplPush:
+			return s.handleReplPush(req)
 		case req.Method == "GET" && path == PathFetch:
 			return s.handleFetch(req)
 		case req.Method == "GET" && path == PathRepl:
@@ -156,6 +166,9 @@ func jsonResponse(code int, v any) *httpx.Response {
 }
 
 func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Response {
+	if s.Fenced() {
+		return s.fencedResponse()
+	}
 	if !s.captcha(req.Header.Get(CaptchaHeader)) {
 		return httpx.NewResponse(403, []byte("captcha failed"))
 	}
@@ -188,6 +201,11 @@ func (s *Server) handleRegister(req *httpx.Request, flow netem.Flow) *httpx.Resp
 	fmt.Fprintf(h, "%d|%d", now.UnixNano(), seq)
 	uuid := fmt.Sprintf("%016x", h.Sum64())
 	s.store.addUser(uuid)
+	if s.strictUnavailable() {
+		// Strict durability rejected the addUser: the UUID was never stored,
+		// so acking it would hand the client a dead identity.
+		return httpx.NewResponse(503, []byte("durability lost"))
+	}
 	return jsonResponse(200, RegisterResponse{UUID: uuid})
 }
 
@@ -219,12 +237,18 @@ func (s *Server) sweepRegLocked(now time.Time) {
 }
 
 func (s *Server) handleReport(req *httpx.Request) *httpx.Response {
+	if s.Fenced() {
+		return s.fencedResponse()
+	}
 	var body ReportRequest
 	if err := json.Unmarshal(req.Body, &body); err != nil {
 		return httpx.NewResponse(400, []byte("bad json"))
 	}
 	accepted, ok := s.store.ingest(body.UUID, s.clock.Now(), body.Reports)
 	if !ok {
+		if s.strictUnavailable() {
+			return httpx.NewResponse(503, []byte("durability lost"))
+		}
 		return httpx.NewResponse(403, []byte("unknown or revoked uuid"))
 	}
 	return jsonResponse(200, ReportResponse{Accepted: accepted})
@@ -279,6 +303,11 @@ func (s *Server) handleRepl(req *httpx.Request) *httpx.Response {
 	if feed == nil {
 		return httpx.NewResponse(404, []byte("replication not enabled"))
 	}
+	if s.Fenced() {
+		// A fenced node's stream is a stale lineage; pulling from it would
+		// fork the follower. Send the puller to the leader instead.
+		return s.fencedResponse()
+	}
 	from, err := strconv.ParseUint(queryParam(req.Target, "from"), 10, 64)
 	if err != nil {
 		return httpx.NewResponse(400, []byte("bad from"))
@@ -291,10 +320,17 @@ func (s *Server) handleRepl(req *httpx.Request) *httpx.Response {
 		feed.Ack(follower, from)
 	}
 	data, next := feed.ReadFrom(from, maxBytes)
+	term, leader, base := s.TermState()
+	atTerm, atLeader := s.TermAt(from)
 	resp := httpx.NewResponse(200, data)
 	resp.Header.Set("Content-Type", "application/octet-stream")
 	resp.Header.Set(ReplNextHeader, strconv.FormatUint(next, 10))
 	resp.Header.Set(ReplHeadHeader, strconv.FormatUint(feed.Head(), 10))
+	resp.Header.Set(TermHeader, strconv.FormatInt(term, 10))
+	resp.Header.Set(LeaderHeader, leader)
+	resp.Header.Set(ReplBaseHeader, strconv.FormatUint(base, 10))
+	resp.Header.Set(ReplTermAtHeader, strconv.FormatInt(atTerm, 10))
+	resp.Header.Set(ReplLeaderAtHeader, atLeader)
 	return resp
 }
 
@@ -308,6 +344,16 @@ func (s *Server) Revoke(uuid string) { s.store.revoke(uuid) }
 
 // StatsSnapshot aggregates the Table-7 numbers from current state.
 func (s *Server) StatsSnapshot() Stats { return s.store.stats() }
+
+// SetDeltaHistory raises the per-AS delta edit-history cap above its
+// default of 64. Population-scale drivers size it to the fleet so a
+// client's tag from one sync round is still in the history a round later,
+// keeping the converging phase on the delta path instead of full fetches.
+func (s *Server) SetDeltaHistory(n int) {
+	if t, ok := s.store.(interface{ setDeltaHistory(int) }); ok {
+		t.setDeltaHistory(n)
+	}
+}
 
 // primaryClass maps stage lists to the Table-7 reporting classes. DNS
 // evidence anywhere in the stages classifies the URL as DNS blocking —

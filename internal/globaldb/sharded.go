@@ -45,7 +45,11 @@ type shardedStore struct {
 	updates  atomic.Int64 // unique (uuid, url|asn) keys ever accepted
 	revEpoch atomic.Int64 // bumped on revoke; invalidates every snapshot
 	rebuilds atomic.Int64 // snapshot recomputations, observable in tests
+	histMax  atomic.Int64 // per-AS delta history cap; 0 = deltaHistoryMax
 }
+
+// setDeltaHistory raises (or lowers) the per-AS delta edit-history cap.
+func (s *shardedStore) setDeltaHistory(n int) { s.histMax.Store(int64(n)) }
 
 type uuidShard struct {
 	mu sync.RWMutex
@@ -299,7 +303,7 @@ func (s *shardedStore) rebuildLocked(idx *asIndex, ver, rev int64) {
 		body = emptyFetchBody(idx.asn)
 	}
 	if idx.valid {
-		idx.recordEditLocked(snapTag(idx.snapVer, idx.snapRev), idx.entries, entries)
+		idx.recordEditLocked(snapTag(idx.snapVer, idx.snapRev), idx.entries, entries, int(s.histMax.Load()))
 	}
 	idx.entries, idx.body = entries, body
 	idx.snapVer, idx.snapRev, idx.valid = ver, rev, true

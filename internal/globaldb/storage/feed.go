@@ -65,6 +65,16 @@ func (f *Feed) ReadFrom(from uint64, maxBytes int) (data []byte, next uint64) {
 	return data, next
 }
 
+// Reset drops the feed's entire history and all follower acks. Used when a
+// node wipes its state to resync from a new leader: the rebuilt stream
+// restarts at sequence 0.
+func (f *Feed) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frames = nil
+	f.acks = make(map[string]uint64)
+}
+
 // Ack records that follower has durably applied every record below seq.
 // Acks never move backwards. A first ack at 0 still registers the follower,
 // so Stats shows attached-but-behind followers with their full lag instead

@@ -22,6 +22,14 @@ func FuzzReplay(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // absurd length field
+	// Mid-file damage with intact frames behind it — the ReplayFile
+	// history-loss case; plain Replay still just stops at the bad frame.
+	midFlip := framedSeed()
+	midFlip[frameHeaderLen+2] ^= 0xFF // payload byte of the FIRST frame
+	f.Add(midFlip)
+	// A leadership change mid-stream: KindTerm frames ride the same log.
+	f.Add(append(AppendFrame(nil, EncodeRecord(nil,
+		&Record{Kind: KindTerm, UUID: "30.0.0.1:80", Now: 3})), framedSeed()...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var recs []*Record
 		good, err := Replay(bytes.NewReader(data), func(r *Record) error {

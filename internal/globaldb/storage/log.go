@@ -2,7 +2,10 @@ package storage
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 )
 
@@ -18,6 +21,24 @@ type Log struct {
 	w    *bufio.Writer
 	buf  []byte // scratch for encode+frame, reused across appends
 	recs int64  // records appended since open (not lifetime)
+	tear int    // >= 0: next Append writes only this many bytes (fault hook)
+}
+
+// ErrInjectedTear is returned by an Append whose write was deliberately cut
+// short via TearNext. The partial frame is on disk; the record is not
+// durable.
+var ErrInjectedTear = errors.New("storage: injected torn write")
+
+// TearNext arms a fault-injection hook: the next Append writes only the
+// first keep bytes of its frame, flushes them, and returns ErrInjectedTear.
+// This simulates a crash mid-append — the canonical torn tail that recovery
+// must truncate away. Chaos schedules use it to exercise the recovery path
+// deterministically.
+func (l *Log) TearNext(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	l.tear = keep
 }
 
 // OpenLog opens (creating if needed) the log at path for appending.
@@ -30,7 +51,7 @@ func OpenLog(path string) (*Log, error) {
 		closeErr := f.Close()
 		return nil, fmt.Errorf("storage: seek log end: %v (close: %v)", err, closeErr)
 	}
-	return &Log{path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &Log{path: path, f: f, w: bufio.NewWriter(f), tear: -1}, nil
 }
 
 // Append encodes, frames, writes and flushes one record.
@@ -39,6 +60,20 @@ func (l *Log) Append(rec *Record) error {
 	payload := EncodeRecord(l.buf, rec)
 	l.buf = payload // keep the grown buffer for reuse
 	framed := AppendFrame(nil, payload)
+	if l.tear >= 0 {
+		keep := l.tear
+		l.tear = -1
+		if keep > len(framed) {
+			keep = len(framed)
+		}
+		if _, err := l.w.Write(framed[:keep]); err != nil {
+			return err
+		}
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		return ErrInjectedTear
+	}
 	if _, err := l.w.Write(framed); err != nil {
 		return err
 	}
@@ -86,9 +121,15 @@ func (l *Log) Close() error {
 
 // ReplayFile opens path and replays its records through fn, returning the
 // byte offset of the end of the last good frame. A missing file replays
-// zero records. The tail error follows Replay's contract: nil for a clean
-// end, ErrCorrupt-wrapped for a torn or corrupted tail (the caller should
-// truncate to good and continue), anything else from fn.
+// zero records. The tail error follows Replay's contract — nil for a clean
+// end, ErrCorrupt-wrapped for a torn tail (the caller should truncate to
+// good and continue), anything else from fn — with one sharpening: if the
+// corruption is followed by a later intact frame, the damage is inside
+// committed history rather than a crash mid-append, and the error wraps
+// ErrHistoryLoss instead. Truncating there would silently drop the valid
+// records behind the bad frame, so callers must treat it as fatal. A
+// corrupted final frame is indistinguishable from a torn append and is
+// truncated like one.
 func ReplayFile(path string, fn func(*Record) error) (good int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -101,5 +142,36 @@ func ReplayFile(path string, fn func(*Record) error) (good int64, err error) {
 	if closeErr := f.Close(); replayErr == nil && closeErr != nil {
 		return good, closeErr
 	}
+	if replayErr != nil && errors.Is(replayErr, ErrCorrupt) {
+		if tail, rerr := os.ReadFile(path); rerr == nil && int64(len(tail)) > good {
+			if off, ok := laterValidFrame(tail[good:]); ok {
+				return good, fmt.Errorf("%w: valid frame at offset %d after corruption at %d: %v",
+					ErrHistoryLoss, good+off, good, replayErr)
+			}
+		}
+	}
 	return good, replayErr
+}
+
+// laterValidFrame scans data (the bytes from the first corrupt frame on)
+// for an intact frame starting strictly after the corruption point: a sane
+// length, a matching CRC, and a payload that decodes. Offset 0 is skipped —
+// that is the corrupt frame itself.
+func laterValidFrame(data []byte) (off int64, ok bool) {
+	for i := 1; i+frameHeaderLen <= len(data); i++ {
+		n := binary.LittleEndian.Uint32(data[i : i+4])
+		if n == 0 || n > maxFrame || i+frameHeaderLen+int(n) > len(data) {
+			continue
+		}
+		sum := binary.LittleEndian.Uint32(data[i+4 : i+8])
+		payload := data[i+frameHeaderLen : i+frameHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			continue
+		}
+		if _, err := DecodeRecord(payload); err != nil {
+			continue
+		}
+		return int64(i), true
+	}
+	return 0, false
 }

@@ -26,6 +26,12 @@ const (
 	KindAddUser byte = 1
 	KindIngest  byte = 2
 	KindRevoke  byte = 3
+	// KindTerm marks a leadership change in the replicated stream: Now
+	// carries the term number and UUID the new leader's client-facing
+	// address. It reuses the existing record fields, so the frame format is
+	// unchanged; streams written before promotion existed simply contain no
+	// term records (the founding leader serves term 1 implicitly).
+	KindTerm byte = 4
 )
 
 // Stage mirrors one detection stage of a report.
@@ -57,6 +63,14 @@ type Record struct {
 // cleanly at the first such frame; callers distinguish it from an apply
 // error with errors.Is.
 var ErrCorrupt = errors.New("storage: corrupt record")
+
+// ErrHistoryLoss marks a log whose corruption is followed by further valid
+// records: not a torn tail from a crash mid-append, but damage to committed
+// history (a flipped bit, an overwritten region). Truncating at the bad
+// frame would silently drop the valid records behind it, so recovery must
+// hard-error instead. Deliberately does not wrap ErrCorrupt: callers that
+// truncate on ErrCorrupt treat this as fatal without any code change.
+var ErrHistoryLoss = errors.New("storage: corruption inside committed history")
 
 // maxFrame bounds a frame's payload so a corrupted length field cannot ask
 // the reader to allocate gigabytes before the checksum gets a chance to
@@ -104,7 +118,7 @@ func DecodeRecord(p []byte) (*Record, error) {
 	d := decoder{buf: p}
 	rec := &Record{Kind: d.byte()}
 	switch rec.Kind {
-	case KindAddUser, KindIngest, KindRevoke:
+	case KindAddUser, KindIngest, KindRevoke, KindTerm:
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, rec.Kind)
 	}

@@ -300,3 +300,124 @@ func TestFeedReadAck(t *testing.T) {
 		t.Fatalf("past-head read: %v %d", data, next)
 	}
 }
+
+func TestReplayFileTornTailIsNotHistoryLoss(t *testing.T) {
+	// A cut anywhere inside the final frame is a crash mid-append: recovery
+	// reports ErrCorrupt so the caller truncates and continues. It must NOT
+	// escalate to ErrHistoryLoss — no committed record sits past the damage.
+	want := sampleRecords()
+	full := framed(want)
+	lastStart := len(framed(want[:len(want)-1]))
+	path := filepath.Join(t.TempDir(), "wal")
+	for cut := lastStart + 1; cut < len(full); cut += 3 {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []*Record
+		good, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil })
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+		if errors.Is(err, ErrHistoryLoss) {
+			t.Fatalf("cut at %d: torn tail misreported as history loss: %v", cut, err)
+		}
+		if good != int64(lastStart) || len(got) != len(want)-1 {
+			t.Fatalf("cut at %d: good=%d records=%d, want good=%d records=%d",
+				cut, good, len(got), lastStart, len(want)-1)
+		}
+	}
+}
+
+func TestReplayFileMidFileCorruptionIsHistoryLoss(t *testing.T) {
+	// A bad frame with intact frames behind it means committed history was
+	// damaged in place; truncating would drop the valid suffix, so ReplayFile
+	// must refuse with ErrHistoryLoss rather than inviting the torn-tail fix.
+	want := sampleRecords()
+	full := framed(want)
+	firstEnd := len(framed(want[:1]))
+	path := filepath.Join(t.TempDir(), "wal")
+
+	corrupt := append([]byte(nil), full...)
+	corrupt[firstEnd+frameHeaderLen+1] ^= 0xFF // payload byte of frame 2
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Record
+	good, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil })
+	if !errors.Is(err, ErrHistoryLoss) {
+		t.Fatalf("mid-file flip: err = %v, want ErrHistoryLoss", err)
+	}
+	if good != int64(firstEnd) || len(got) != 1 {
+		t.Fatalf("mid-file flip: good=%d records=%d, want good=%d records=1", good, len(got), firstEnd)
+	}
+
+	// The same flip in the FINAL frame is indistinguishable from a torn
+	// append and stays a truncatable ErrCorrupt.
+	lastStart := len(framed(want[:len(want)-1]))
+	tailFlip := append([]byte(nil), full...)
+	tailFlip[lastStart+frameHeaderLen+1] ^= 0xFF
+	if err := os.WriteFile(path, tailFlip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplayFile(path, func(*Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) || errors.Is(err, ErrHistoryLoss) {
+		t.Fatalf("final-frame flip: err = %v, want plain ErrCorrupt", err)
+	}
+}
+
+func TestLogTearNextRecovery(t *testing.T) {
+	// TearNext cuts the next append short: the record is reported
+	// non-durable, replay stops at the last good frame, and truncate+append
+	// resumes a clean log — the full crash-mid-append recovery cycle.
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, r := range want[:2] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.TearNext(5)
+	if err := l.Append(want[2]); !errors.Is(err, ErrInjectedTear) {
+		t.Fatalf("torn append: err = %v, want ErrInjectedTear", err)
+	}
+	if l.Records() != 2 {
+		t.Fatalf("Records() = %d after tear, want 2", l.Records())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*Record
+	good, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil })
+	if !errors.Is(err, ErrCorrupt) || errors.Is(err, ErrHistoryLoss) {
+		t.Fatalf("replay after tear: err = %v, want plain ErrCorrupt", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replay after tear: %d records, want 2", len(got))
+	}
+
+	l2, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Truncate(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(want[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if _, err := ReplayFile(path, func(r *Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	if !reflect.DeepEqual(got, want[:3]) {
+		t.Fatalf("recovered log contents differ")
+	}
+}

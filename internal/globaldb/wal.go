@@ -25,6 +25,14 @@ type StoreOptions struct {
 	// Replicated attaches an in-memory replication feed mirroring every
 	// logged record, served on PathRepl for followers to pull.
 	Replicated bool
+	// Strict makes durability a precondition of acknowledgement: a mutation
+	// whose log append fails is rejected (neither applied nor streamed) and
+	// the server answers 503 until restart. Without Strict the store keeps
+	// the original fail-stop behavior — latch the error, keep applying — which
+	// favors availability but can ack a write that will not survive a crash.
+	// Promotion and chaos worlds run Strict, because "no acked report lost"
+	// is exactly the invariant they assert.
+	Strict bool
 }
 
 const (
@@ -51,19 +59,37 @@ type durableStore struct {
 	log   *storage.Log
 	feed  *storage.Feed
 	dir   string
+	opts  StoreOptions // retained for reset()
 
 	snapshotEvery int
+	strict        bool
 	sinceSnap     int
 	recovered     int64 // log records replayed at open, observable in tests
 	lastErr       error
+
+	// Term state recovered from (or written to) the record stream: the
+	// highest term seen, the leader address it named, and the stream
+	// position it began at. Zero means the stream predates promotion — the
+	// founding primary's implicit term. recMarks keeps every leadership
+	// change in stream order so termAt can name the lineage in effect at any
+	// position (valid while the WAL holds the full history, i.e. compaction
+	// disabled — which promotion worlds require anyway).
+	recTerm   int64
+	recLeader string
+	recBase   uint64
+	recMarks  []TermMark
 }
+
+// errNotDurable is returned by strict-mode mutations once durability is
+// lost; the server maps it to 503.
+var errNotDurable = errors.New("globaldb: write-ahead log unavailable")
 
 // newDurableStore opens (or creates) the store at o.Dir, recovering state
 // from the newest snapshot plus the log tail. A corrupt log tail (torn
 // write from a crash) is truncated at the last valid record; any other
 // error aborts the open.
 func newDurableStore(o StoreOptions) (*durableStore, error) {
-	d := &durableStore{dir: o.Dir, snapshotEvery: o.SnapshotEvery}
+	d := &durableStore{dir: o.Dir, opts: o, snapshotEvery: o.SnapshotEvery, strict: o.Strict}
 	if d.snapshotEvery == 0 {
 		d.snapshotEvery = defaultSnapshotEvery
 	}
@@ -86,8 +112,24 @@ func newDurableStore(o StoreOptions) (*durableStore, error) {
 	} else {
 		d.inner = newShardedStore()
 	}
+	// With no snapshot the log is the complete history, so the replication
+	// feed can be rebuilt record for record and followers' pull offsets stay
+	// valid across a restart. Once a snapshot exists the prefix is gone and a
+	// restarted primary's feed restarts at zero (promotion worlds disable
+	// compaction for exactly this reason).
+	rebuildFeed := d.feed != nil && st == nil
 	good, err := storage.ReplayFile(d.walPath(), func(rec *storage.Record) error {
+		if rec.Kind == storage.KindTerm {
+			if rec.Now > d.recTerm {
+				d.recTerm, d.recLeader = rec.Now, rec.UUID
+				d.recBase = uint64(d.recovered)
+				d.recMarks = append(d.recMarks, TermMark{Term: rec.Now, Leader: rec.UUID, Base: d.recBase})
+			}
+		}
 		applyRecord(d.inner, rec)
+		if rebuildFeed {
+			d.feed.Append(rec)
+		}
 		d.recovered++
 		return nil
 	})
@@ -124,23 +166,135 @@ func applyRecord(s store, rec *storage.Record) {
 		s.ingest(rec.UUID, timeOf(rec.Now), reportsFromStorage(rec.Reports))
 	case storage.KindRevoke:
 		s.revoke(rec.UUID)
+	case storage.KindTerm:
+		// Leadership marker: no store mutation. Term state is tracked by the
+		// durable layer, which sees the record before it gets here.
 	}
 }
 
-// record logs one mutation (and mirrors it to the feed) before the caller
-// applies it. Caller holds d.mu.
-func (d *durableStore) record(rec *storage.Record) {
+// record logs one mutation before the caller applies it, then mirrors it to
+// the feed. The log write comes first: a record must never enter the
+// replication stream unless it is durable locally, or a crashed primary
+// could restart without records its followers hold. In strict mode a failed
+// append rejects the mutation (the caller must not apply or acknowledge
+// it); otherwise the error is latched and the mutation proceeds unlogged.
+// Caller holds d.mu.
+func (d *durableStore) record(rec *storage.Record) error {
+	if d.log != nil && d.lastErr == nil {
+		if err := d.log.Append(rec); err != nil {
+			d.lastErr = err
+		} else {
+			d.sinceSnap++
+		}
+	}
+	if d.strict && d.lastErr != nil {
+		return errNotDurable
+	}
 	if d.feed != nil {
 		d.feed.Append(rec)
 	}
-	if d.log == nil || d.lastErr != nil {
-		return
+	return nil
+}
+
+// absorb logs, streams, and applies one record exactly as received. It is
+// the follower-side counterpart of the mutation methods: replication and
+// push reconciliation hand records here so a follower's WAL and feed mirror
+// the leader's stream frame for frame (EncodeRecord is a pure function, so
+// re-encoding reproduces identical bytes). Term records update the tracked
+// term instead of the store.
+func (d *durableStore) absorb(rec *storage.Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var base uint64
+	if d.feed != nil {
+		base = d.feed.Head() // position the record lands at, if it does
 	}
-	if err := d.log.Append(rec); err != nil {
-		d.lastErr = err
-		return
+	if err := d.record(rec); err != nil {
+		return err
 	}
-	d.sinceSnap++
+	if rec.Kind == storage.KindTerm && rec.Now > d.recTerm {
+		d.recTerm, d.recLeader, d.recBase = rec.Now, rec.UUID, base
+		d.recMarks = append(d.recMarks, TermMark{Term: rec.Now, Leader: rec.UUID, Base: base})
+	}
+	applyRecord(d.inner, rec)
+	d.maybeCompactLocked()
+	return nil
+}
+
+// startTerm appends a term record announcing leader as the writer for term,
+// through the same durable path as any mutation. Returns the feed position
+// the term begins at (the record's own sequence number).
+func (d *durableStore) startTerm(term int64, leader string) (base uint64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.feed != nil {
+		base = d.feed.Head()
+	}
+	rec := &storage.Record{Kind: storage.KindTerm, UUID: leader, Now: term}
+	if err := d.record(rec); err != nil {
+		return 0, err
+	}
+	if term > d.recTerm {
+		d.recTerm, d.recLeader, d.recBase = term, leader, base
+		d.recMarks = append(d.recMarks, TermMark{Term: term, Leader: leader, Base: base})
+	}
+	d.maybeCompactLocked()
+	return base, nil
+}
+
+// termState returns the highest term in the stream, its leader address, and
+// the stream position it began at.
+func (d *durableStore) termState() (int64, string, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recTerm, d.recLeader, d.recBase
+}
+
+// termAt returns the lineage in effect for the stream prefix [0, pos): the
+// last term record strictly below pos. (0, "") is the founding lineage.
+func (d *durableStore) termAt(pos uint64) (term int64, leader string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.recMarks {
+		if m.Base >= pos {
+			break
+		}
+		term, leader = m.Term, m.Leader
+	}
+	return term, leader
+}
+
+// reset wipes the store to empty — log truncated, snapshot removed, feed
+// and in-memory state fresh, latched errors cleared — so the node can
+// resync a new leader's stream from sequence zero. Replaying that stream
+// rebuilds not just the aggregate state but the exact version counters
+// behind validator tags, which is what makes replicas byte-identical after
+// a heal.
+func (d *durableStore) reset() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log != nil {
+		if err := d.log.Truncate(0); err != nil {
+			return err
+		}
+	}
+	if d.dir != "" {
+		if err := os.Remove(d.snapPath()); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	hist := d.inner.histMax.Load()
+	d.inner = newShardedStore()
+	d.inner.histMax.Store(hist)
+	if d.feed != nil {
+		d.feed.Reset()
+	}
+	d.sinceSnap = 0
+	d.recovered = 0
+	d.lastErr = nil
+	d.recTerm, d.recLeader, d.recBase = 0, "", 0
+	d.recMarks = nil
+	return nil
 }
 
 // maybeCompactLocked compacts when the log grew past the snapshot cadence.
@@ -178,6 +332,26 @@ func (d *durableStore) Err() error {
 	return d.lastErr
 }
 
+// strictUnavailable reports whether strict mode has latched a durability
+// error, i.e. every further mutation will be rejected until restart.
+func (d *durableStore) strictUnavailable() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.strict && d.lastErr != nil
+}
+
+// tearNext arms the WAL torn-write fault hook for the next append. Reports
+// whether a log was present to arm.
+func (d *durableStore) tearNext(keep int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return false
+	}
+	d.log.TearNext(keep)
+	return true
+}
+
 func (d *durableStore) close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -194,7 +368,9 @@ func (d *durableStore) close() error {
 func (d *durableStore) addUser(uuid string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.record(&storage.Record{Kind: storage.KindAddUser, UUID: uuid})
+	if d.record(&storage.Record{Kind: storage.KindAddUser, UUID: uuid}) != nil {
+		return // strict: not durable, not applied; the server answers 503
+	}
 	d.inner.addUser(uuid)
 	d.maybeCompactLocked()
 }
@@ -202,10 +378,13 @@ func (d *durableStore) addUser(uuid string) {
 func (d *durableStore) ingest(uuid string, now time.Time, reports []Report) (int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.record(&storage.Record{
+	err := d.record(&storage.Record{
 		Kind: storage.KindIngest, UUID: uuid, Now: nanoOf(now),
 		Reports: reportsToStorage(reports),
 	})
+	if err != nil {
+		return 0, false // strict: rejected before apply; the server answers 503
+	}
 	n, ok := d.inner.ingest(uuid, now, reports)
 	d.maybeCompactLocked()
 	return n, ok
@@ -214,7 +393,9 @@ func (d *durableStore) ingest(uuid string, now time.Time, reports []Report) (int
 func (d *durableStore) revoke(uuid string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.record(&storage.Record{Kind: storage.KindRevoke, UUID: uuid})
+	if d.record(&storage.Record{Kind: storage.KindRevoke, UUID: uuid}) != nil {
+		return
+	}
 	d.inner.revoke(uuid)
 	d.maybeCompactLocked()
 }
@@ -229,3 +410,5 @@ func (d *durableStore) fetchResponse(asn int, inm string) fetchResult {
 }
 
 func (d *durableStore) stats() Stats { return d.inner.stats() }
+
+func (d *durableStore) setDeltaHistory(n int) { d.inner.setDeltaHistory(n) }

@@ -11,6 +11,7 @@ package httpx
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -77,6 +78,28 @@ type Request struct {
 	Host   string
 	Header Header
 	Body   []byte
+
+	// ctx is the request's lifetime: the server derives it from its own
+	// run context, so handlers that issue upstream calls (the replica
+	// forwarder, proxies) stop when the caller is gone instead of holding
+	// resources for a client that hung up.
+	ctx context.Context
+}
+
+// Context returns the request's context, never nil: requests built outside
+// a server (tests, clients) default to context.Background().
+func (r *Request) Context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// WithContext returns a shallow copy of r carrying ctx.
+func (r *Request) WithContext(ctx context.Context) *Request {
+	r2 := *r
+	r2.ctx = ctx
+	return &r2
 }
 
 // NewRequest builds a GET-style request with an initialized header.
@@ -125,6 +148,8 @@ func StatusText(code int) string {
 		return "Forbidden"
 	case 404:
 		return "Not Found"
+	case 421:
+		return "Misdirected Request"
 	case 429:
 		return "Too Many Requests"
 	case 500:

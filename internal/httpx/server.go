@@ -1,6 +1,7 @@
 package httpx
 
 import (
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -23,8 +24,10 @@ func (f HandlerFunc) ServeHTTP(req *Request, flow netem.Flow) *Response { return
 
 // Server serves HTTP on a listener, with keep-alive support.
 type Server struct {
-	l net.Listener
-	h Handler
+	l      net.Listener
+	h      Handler
+	ctx    context.Context // cancelled when the server closes
+	cancel context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
@@ -33,6 +36,7 @@ type Server struct {
 // Serve starts serving in the background and returns immediately.
 func Serve(l net.Listener, h Handler) *Server {
 	s := &Server{l: l, h: h}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	go s.acceptLoop()
 	return s
 }
@@ -60,7 +64,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		resp := s.h.ServeHTTP(req, flow)
+		resp := s.h.ServeHTTP(req.WithContext(s.ctx), flow)
 		if resp == nil {
 			// Handler chose to drop the request (used by censor simulations
 			// and misbehaving-server tests): say nothing.
@@ -76,7 +80,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops accepting; established connections finish naturally.
+// Close stops accepting; established connections finish naturally, but
+// requests dispatched after Close see a cancelled context, so handler
+// upstream calls abort instead of lingering.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -84,6 +90,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.cancel()
 	return s.l.Close()
 }
 

@@ -3,10 +3,15 @@ package worldgen
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"csaw/internal/censor"
+	"csaw/internal/globaldb"
+	"csaw/internal/globaldb/replica"
 	"csaw/internal/globaldb/storage"
+	"csaw/internal/httpx"
+	"csaw/internal/netem"
 )
 
 // Replication plumbing for worlds built with Options.GlobalDBReplicas, plus
@@ -88,6 +93,157 @@ func ReplicaLossPolicies(base *censor.Policy) (clean, loss *censor.Policy) {
 	ip[GlobalDBIP] = censor.IPDrop
 	l.IP = ip
 	return clean, &l
+}
+
+// buildPromotionSet wires the self-healing replica set: every node — the
+// founding primary included — runs a strict, feed-enabled durable store
+// wrapped in a promotion-capable replica.Follower, with the full peer list
+// for election probes. Listeners are retained so experiments can kill and
+// restart a node's serving process by index. Compaction is disabled on
+// every node: with no snapshots the WAL is the complete history, follower
+// pull offsets stay valid across restarts, and a demoted node can push its
+// whole feed during reconciliation.
+func (w *World) buildPromotionSet(o Options, gh *netem.Host, cloud *netem.AS) error {
+	regions := []string{"us", "proxy-Netherlands", "proxy-Germany-2"}
+	hosts := []*netem.Host{gh}
+	for i := 0; i < o.GlobalDBReplicas; i++ {
+		hosts = append(hosts, w.Net.MustAddHost(fmt.Sprintf("globaldb-replica-%d", i),
+			fmt.Sprintf("40.0.1.%d", i+1), regions[i%len(regions)], cloud))
+	}
+	addrs := make([]string, len(hosts))
+	for i, h := range hosts {
+		addrs[i] = h.IP() + ":80"
+	}
+	nodes := make([]*replica.Follower, len(hosts))
+	for i, h := range hosts {
+		dir := ""
+		if o.GlobalDBWALDir != "" {
+			dir = filepath.Join(o.GlobalDBWALDir, fmt.Sprintf("node-%d", i))
+		}
+		srv, err := globaldb.NewDurableServer(w.Clock, nil, globaldb.StoreOptions{
+			Dir:           dir,
+			SnapshotEvery: -1,
+			Replicated:    true,
+			Strict:        true,
+		})
+		if err != nil {
+			return err
+		}
+		f := &replica.Follower{
+			Name:            fmt.Sprintf("node-%d", i),
+			Server:          srv,
+			PrimaryAddr:     addrs[0],
+			PrimaryHost:     GlobalDBHost,
+			Dial:            h.Dial,
+			Clock:           w.Clock,
+			Promote:         true,
+			Self:            addrs[i],
+			MissedThreshold: o.GlobalDBMissedThreshold,
+		}
+		for j, a := range addrs {
+			if j != i {
+				f.Peers = append(f.Peers, replica.Peer{Name: fmt.Sprintf("node-%d", j), Addr: a})
+			}
+		}
+		if i == 0 {
+			f.SetRole(globaldb.RoleLeader)
+		}
+		nodes[i] = f
+	}
+	w.GlobalDB = nodes[0].Server
+	w.GlobalDBNodes = nodes
+	w.gdbHosts = hosts
+	w.gdbServers = make([]*httpx.Server, len(hosts))
+	for i, h := range hosts {
+		l, err := h.Listen(80)
+		if err != nil {
+			return err
+		}
+		w.gdbServers[i] = httpx.Serve(l, nodes[i].Handler())
+	}
+	w.GlobalDBEndpoints = addrs
+	w.ReplicaSet = &replica.Set{Followers: nodes, Clock: w.Clock, Interval: o.GlobalDBReplInterval}
+	return nil
+}
+
+// KillGlobalDBNode stops node i's listener: established state stays (this
+// models a process pause / network death, not a disk loss), but every new
+// connection — client writes, follower pulls, election probes — fails.
+// No-op if already down.
+func (w *World) KillGlobalDBNode(i int) error {
+	if i < 0 || i >= len(w.gdbServers) || w.gdbServers[i] == nil {
+		return nil
+	}
+	err := w.gdbServers[i].Close()
+	w.gdbServers[i] = nil
+	return err
+}
+
+// RestartGlobalDBNode resumes serving on node i. The node rejoins with the
+// state (and role) it died with; its next controller step discovers any
+// leadership change and demotes/resyncs as needed.
+func (w *World) RestartGlobalDBNode(i int) error {
+	if i < 0 || i >= len(w.gdbServers) || w.gdbServers[i] != nil {
+		return nil
+	}
+	l, err := w.gdbHosts[i].Listen(80)
+	if err != nil {
+		return err
+	}
+	w.gdbServers[i] = httpx.Serve(l, w.GlobalDBNodes[i].Handler())
+	return nil
+}
+
+// KillPrimary kills the founding primary (node 0).
+func (w *World) KillPrimary() error { return w.KillGlobalDBNode(0) }
+
+// RestartPrimary restarts the founding primary (node 0).
+func (w *World) RestartPrimary() error { return w.RestartGlobalDBNode(0) }
+
+// PromotionTick runs one promotion-controller step on every node, in node
+// order, returning each node's action ("pulled", "missed", "promoted",
+// "self-demoted", ...). Experiments drive failure detection and elections
+// deterministically with this instead of background loops.
+func (w *World) PromotionTick(ctx context.Context) []string {
+	if w.ReplicaSet == nil {
+		return nil
+	}
+	return w.ReplicaSet.Tick(ctx)
+}
+
+// GlobalDBLeader returns the index and node of the current leader, or
+// (-1, nil) when no node currently claims leadership.
+func (w *World) GlobalDBLeader() (int, *replica.Follower) {
+	for i, f := range w.GlobalDBNodes {
+		if f.RoleName() == globaldb.RoleLeader {
+			return i, f
+		}
+	}
+	return -1, nil
+}
+
+// ArmPrimaryLoss installs the primary-loss schedule on an ISP's censor:
+// the standing policy from now, the same policy plus a blackholed primary
+// IP from now+after. Unlike ArmReplicaLoss, the world must be running the
+// promotion-enabled set — the experiment kills the primary at the flip, so
+// writes only survive because a follower promotes itself.
+func (w *World) ArmPrimaryLoss(isp *ISP, seed int64, after time.Duration) ([]censor.Epoch, error) {
+	if len(w.GlobalDBNodes) == 0 {
+		return nil, fmt.Errorf("worldgen: primary-loss epoch needs GlobalDBPromotion")
+	}
+	clean, loss := ReplicaLossPolicies(isp.Censor.Policy())
+	loss.Name = "primary-loss"
+	if clean.Name != "" {
+		loss.Name = clean.Name + "+primary-loss"
+	}
+	now := w.Clock.Now()
+	schedule := []censor.Epoch{
+		{Start: now, Policy: clean},
+		{Start: now.Add(after), Policy: loss},
+	}
+	isp.Censor.EnableChurn(w.Clock, seed)
+	isp.Censor.SetSchedule(schedule)
+	return schedule, nil
 }
 
 // ArmReplicaLoss installs the replica-loss schedule on an ISP's censor:

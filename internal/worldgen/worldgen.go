@@ -102,6 +102,17 @@ type Options struct {
 	// GlobalDBReplInterval is the follower pull cadence (default 30s
 	// virtual).
 	GlobalDBReplInterval time.Duration
+	// GlobalDBPromotion enables the self-healing replica set: every node
+	// (the founding primary included) runs a strict, feed-enabled store and
+	// a promotion controller, so a dead primary is detected by missed
+	// pulls, the most-caught-up follower promotes itself, stale writers are
+	// fenced, and the old primary demotes and resyncs on rejoin. Requires
+	// GlobalDBReplicas > 0. Promotion worlds disable WAL compaction
+	// (snapshots would invalidate follower pull offsets across restarts).
+	GlobalDBPromotion bool
+	// GlobalDBMissedThreshold is how many consecutive missed pulls declare
+	// the primary dead (default 3).
+	GlobalDBMissedThreshold int
 }
 
 // World is a built emulated internet.
@@ -117,9 +128,17 @@ type World struct {
 	// order: the primary first, then each follower. One entry when the
 	// world runs without replicas.
 	GlobalDBEndpoints []string
-	// ReplicaSet drives the followers (nil without GlobalDBReplicas).
-	ReplicaSet  *replica.Set
-	ASNEchoAddr string
+	// ReplicaSet drives the followers (nil without GlobalDBReplicas). With
+	// GlobalDBPromotion it holds every node, founding primary first.
+	ReplicaSet *replica.Set
+	// GlobalDBNodes are the promotion-enabled replica-set members (nil
+	// without GlobalDBPromotion), in GlobalDBEndpoints order: index 0 is
+	// the founding primary. KillGlobalDBNode/RestartGlobalDBNode stop and
+	// resume a node's listener by index.
+	GlobalDBNodes []*replica.Follower
+	gdbServers    []*httpx.Server
+	gdbHosts      []*netem.Host
+	ASNEchoAddr   string
 
 	TorDir  *tor.Directory
 	Lantern *lantern.Network
@@ -222,51 +241,60 @@ func New(o Options) (*World, error) {
 	// replicas it runs on the durable store; plain worlds keep the
 	// in-memory sharded store.
 	gh := n.MustAddHost("globaldb", GlobalDBIP, "cloud", cloud)
-	if o.GlobalDBWALDir != "" || o.GlobalDBReplicas > 0 {
-		srv, err := globaldb.NewDurableServer(clock, nil, globaldb.StoreOptions{
-			Dir:           o.GlobalDBWALDir,
-			SnapshotEvery: o.GlobalDBSnapshotEvery,
-			Replicated:    o.GlobalDBReplicas > 0,
-		})
-		if err != nil {
-			return nil, err
-		}
-		w.GlobalDB = srv
-	} else {
-		w.GlobalDB = globaldb.NewServer(clock, nil)
-	}
-	if err := w.GlobalDB.Attach(gh, 80); err != nil {
-		return nil, err
-	}
 	w.GlobalDBAddr = GlobalDBIP + ":80"
 	w.GlobalDBEndpoints = []string{w.GlobalDBAddr}
 	w.Registry.Set(GlobalDBHost, GlobalDBIP)
-
-	// Follower replicas on cloud hosts in other regions: the censor must
-	// blackhole several distinct IPs (§5: blocking the DB is countered by
-	// moving it). Followers pull the primary's WAL stream asynchronously
-	// and serve byte-identical bodies and tags once caught up.
-	if o.GlobalDBReplicas > 0 {
-		regions := []string{"us", "proxy-Netherlands", "proxy-Germany-2"}
-		followers := make([]*replica.Follower, o.GlobalDBReplicas)
-		for i := range followers {
-			host := n.MustAddHost(fmt.Sprintf("globaldb-replica-%d", i),
-				fmt.Sprintf("40.0.1.%d", i+1), regions[i%len(regions)], cloud)
-			f := &replica.Follower{
-				Name:        fmt.Sprintf("replica-%d", i),
-				Server:      globaldb.NewServer(clock, nil),
-				PrimaryAddr: w.GlobalDBAddr,
-				PrimaryHost: GlobalDBHost,
-				Dial:        host.Dial,
-				Clock:       clock,
-			}
-			if err := f.Attach(host, 80); err != nil {
+	if o.GlobalDBPromotion {
+		if o.GlobalDBReplicas <= 0 {
+			return nil, fmt.Errorf("worldgen: GlobalDBPromotion needs GlobalDBReplicas > 0")
+		}
+		if err := w.buildPromotionSet(o, gh, cloud); err != nil {
+			return nil, err
+		}
+	} else {
+		if o.GlobalDBWALDir != "" || o.GlobalDBReplicas > 0 {
+			srv, err := globaldb.NewDurableServer(clock, nil, globaldb.StoreOptions{
+				Dir:           o.GlobalDBWALDir,
+				SnapshotEvery: o.GlobalDBSnapshotEvery,
+				Replicated:    o.GlobalDBReplicas > 0,
+			})
+			if err != nil {
 				return nil, err
 			}
-			followers[i] = f
-			w.GlobalDBEndpoints = append(w.GlobalDBEndpoints, host.IP()+":80")
+			w.GlobalDB = srv
+		} else {
+			w.GlobalDB = globaldb.NewServer(clock, nil)
 		}
-		w.ReplicaSet = &replica.Set{Followers: followers, Clock: clock, Interval: o.GlobalDBReplInterval}
+		if err := w.GlobalDB.Attach(gh, 80); err != nil {
+			return nil, err
+		}
+
+		// Follower replicas on cloud hosts in other regions: the censor must
+		// blackhole several distinct IPs (§5: blocking the DB is countered by
+		// moving it). Followers pull the primary's WAL stream asynchronously
+		// and serve byte-identical bodies and tags once caught up.
+		if o.GlobalDBReplicas > 0 {
+			regions := []string{"us", "proxy-Netherlands", "proxy-Germany-2"}
+			followers := make([]*replica.Follower, o.GlobalDBReplicas)
+			for i := range followers {
+				host := n.MustAddHost(fmt.Sprintf("globaldb-replica-%d", i),
+					fmt.Sprintf("40.0.1.%d", i+1), regions[i%len(regions)], cloud)
+				f := &replica.Follower{
+					Name:        fmt.Sprintf("replica-%d", i),
+					Server:      globaldb.NewServer(clock, nil),
+					PrimaryAddr: w.GlobalDBAddr,
+					PrimaryHost: GlobalDBHost,
+					Dial:        host.Dial,
+					Clock:       clock,
+				}
+				if err := f.Attach(host, 80); err != nil {
+					return nil, err
+				}
+				followers[i] = f
+				w.GlobalDBEndpoints = append(w.GlobalDBEndpoints, host.IP()+":80")
+			}
+			w.ReplicaSet = &replica.Set{Followers: followers, Clock: clock, Interval: o.GlobalDBReplInterval}
+		}
 	}
 
 	// ASN echo service.
